@@ -1,0 +1,16 @@
+"""Figure 2: total vs selected spawning pairs per benchmark."""
+
+from repro.experiments.figures import figure2
+
+from conftest import run_figure
+
+
+def test_figure2_pair_counts(benchmark):
+    result = run_figure(benchmark, figure2)
+    totals = result.series["total_pairs"]
+    selected = result.series["selected_pairs"]
+    # shape: candidates always at least as many as distinct SPs, and
+    # compress has the fewest pairs of the suite (the paper's fragility)
+    assert all(t >= s for t, s in zip(totals, selected))
+    by_bench = dict(zip(result.benchmarks, selected))
+    assert by_bench["compress"] <= min(by_bench["go"], by_bench["perl"])

@@ -1,0 +1,14 @@
+"""Figure 4: average number of active threads."""
+
+from repro.experiments.figures import figure4
+
+from conftest import run_figure
+
+
+def test_figure4_active_threads(benchmark):
+    result = run_figure(benchmark, figure4)
+    values = result.series["active_threads"]
+    # shape: a large fraction of the 16 units is busy on average, but
+    # resources are never fully utilised (paper: ~7.5 of 16)
+    assert 1.0 < result.summary["amean"] <= 16.0
+    assert all(0 < v <= 16 for v in values)

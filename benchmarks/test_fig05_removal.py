@@ -1,0 +1,25 @@
+"""Figure 5: spawning-pair removal policies (alone-cycles and occurrences)."""
+
+from repro.experiments.figures import figure5a, figure5b
+
+from conftest import run_figure
+
+
+def test_figure5a_removal_thresholds(benchmark):
+    result = run_figure(benchmark, figure5a)
+    # shape: removal policies stay in the same performance band as no
+    # removal on average (the paper reports a ~10% gain for 200 cycles)
+    base = result.summary["no_removal"]
+    assert result.summary["removal_200"] > 0.5 * base
+    assert result.summary["removal_50"] > 0.4 * base
+
+
+def test_figure5b_delayed_removal(benchmark):
+    result = run_figure(benchmark, figure5b)
+    for key, values in result.series.items():
+        assert all(v > 0 for v in values), key
+    # delaying removal must not catastrophically change the average
+    assert (
+        result.summary["occurrences_16"]
+        > 0.5 * result.summary["occurrences_1"]
+    )

@@ -1,0 +1,12 @@
+"""Figure 6: reassign policy vs plain removal."""
+
+from repro.experiments.figures import figure6
+
+from conftest import run_figure
+
+
+def test_figure6_reassign(benchmark):
+    result = run_figure(benchmark, figure6)
+    # shape (paper): reassigning an SP to its next CQIP does not beat the
+    # plain removal policy on average
+    assert result.summary["reassign"] <= result.summary["removal_50"] * 1.15

@@ -1,0 +1,23 @@
+"""Figure 7: dynamic thread sizes and the minimum-size constraint."""
+
+from repro.experiments.figures import figure7a, figure7b
+
+from conftest import run_figure
+
+
+def test_figure7a_thread_sizes(benchmark):
+    result = run_figure(benchmark, figure7a)
+    # shape (paper): overlapping spawns shrink dynamic threads, often
+    # below the 32-instruction static selection minimum
+    sizes = result.series["thread_size"]
+    assert all(s > 0 for s in sizes)
+    assert min(sizes) < 64
+
+
+def test_figure7b_minimum_size(benchmark):
+    result = run_figure(benchmark, figure7b)
+    # enforcing the minimum must not collapse performance (the paper
+    # reports a ~10% gain over plain removal)
+    assert (
+        result.summary["min_size_32"] >= 0.6 * result.summary["no_min_size"]
+    )

@@ -1,0 +1,22 @@
+"""Figure 9: realistic value predictors (hit ratios and speed-ups)."""
+
+from repro.experiments.figures import figure9a, figure9b
+
+from conftest import run_figure
+
+
+def test_figure9a_hit_ratios(benchmark):
+    result = run_figure(benchmark, figure9a)
+    # shape (paper): hit ratios are broadly similar across policies and
+    # sit in the tens of percent (paper ~70%)
+    for key, value in result.summary.items():
+        assert 0.2 <= value <= 1.0, key
+
+
+def test_figure9b_stride_speedups(benchmark):
+    result = run_figure(benchmark, figure9b)
+    # shape (paper): realistic prediction costs a lot relative to the
+    # perfect-prediction potential, for both policies
+    assert result.summary["stride_profile"] < result.summary["perfect_profile"]
+    assert result.summary["stride_heur"] < result.summary["perfect_heur"]
+    assert result.summary["stride_profile"] > 0.4

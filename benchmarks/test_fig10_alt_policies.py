@@ -1,0 +1,19 @@
+"""Figure 10: independent/predictable CQIP-ordering criteria."""
+
+from repro.experiments.figures import figure10a, figure10b
+
+from conftest import run_figure
+
+
+def test_figure10a_hit_ratio(benchmark):
+    result = run_figure(benchmark, figure10a)
+    for key, value in result.summary.items():
+        assert 0.0 <= value <= 1.0, key
+
+
+def test_figure10b_speedups(benchmark):
+    result = run_figure(benchmark, figure10b)
+    # shape (paper): orienting selection to predictability/independence
+    # creates smaller threads and does NOT beat the distance criterion
+    assert result.summary["independent"] <= result.summary["distance"] * 1.2
+    assert result.summary["predictable"] <= result.summary["distance"] * 1.2

@@ -1,0 +1,13 @@
+"""Figure 11: slow-down from the 8-cycle thread-initialisation overhead."""
+
+from repro.experiments.figures import figure11
+
+from conftest import run_figure
+
+
+def test_figure11_init_overhead(benchmark):
+    result = run_figure(benchmark, figure11)
+    # slow-down factors are <= 1 by construction and should be mild
+    # (paper: ~12% for both policies)
+    for policy in ("profile", "heuristics"):
+        assert 0.6 <= result.summary[policy] <= 1.001, policy

@@ -1,0 +1,21 @@
+"""Figure 12: scalability — 4-thread-unit configuration."""
+
+from repro.experiments.figures import figure12
+
+from conftest import run_figure
+
+
+def test_figure12_four_units(benchmark):
+    result = run_figure(benchmark, figure12)
+    # shape (paper): perfect > stride > stride+overhead for the profile
+    # policy, and all three stay within the 4-unit bound
+    assert (
+        result.summary["perfect_profile"]
+        >= result.summary["stride_profile"] * 0.95
+    )
+    assert (
+        result.summary["stride_profile"]
+        >= result.summary["stride_overhead_profile"] * 0.95
+    )
+    for key, value in result.summary.items():
+        assert 0 < value <= 4.2, key

@@ -1,0 +1,16 @@
+"""Extension: individual heuristic schemes vs their combination ([15])."""
+
+from repro.experiments.figures import heuristic_breakdown
+
+from conftest import run_figure
+
+
+def test_heuristic_breakdown(benchmark):
+    result = run_figure(benchmark, heuristic_breakdown)
+    # the combination should be at least competitive with any single
+    # scheme on average ([15]'s conclusion, and the premise of Figure 8)
+    combined = result.summary["combined"]
+    best_single = max(
+        result.summary[k] for k in ("loop_iter", "loop_cont", "sub_cont")
+    )
+    assert combined >= best_single * 0.8

@@ -1,0 +1,13 @@
+"""Extension: do profiled pairs transfer to an unseen input?"""
+
+from repro.experiments.figures import profile_input_sensitivity
+
+from conftest import run_figure
+
+
+def test_profile_input_transfer(benchmark):
+    result = run_figure(benchmark, profile_input_sensitivity)
+    # spawning pairs are program-counter pairs; as long as the hot control
+    # structure is input-stable, a train-input profile must retain most of
+    # the self-profiled performance on the ref input
+    assert result.summary["transfer"] > 0.6

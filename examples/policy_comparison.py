@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Compare every spawning policy across the whole suite (mini Figure 8).
+
+Sweeps the profile-based policy (all three CQIP-ordering criteria) and the
+combined traditional heuristics over the eight SpecInt95 analogues, under
+perfect value prediction, and prints speed-ups over single-thread.
+
+Run:  python examples/policy_comparison.py [scale]
+"""
+
+import sys
+
+from repro.cmt import ProcessorConfig, simulate, single_thread_cycles
+from repro.metrics import harmonic_mean
+from repro.spawning import (
+    HeuristicConfig,
+    ProfilePolicyConfig,
+    heuristic_pairs,
+    select_profile_pairs,
+)
+from repro.workloads import load_trace, workload_names
+
+POLICIES = {
+    "profile(distance)": lambda t: select_profile_pairs(
+        t, ProfilePolicyConfig(coverage=0.99, max_distance=4096)
+    ),
+    "profile(indep)": lambda t: select_profile_pairs(
+        t,
+        ProfilePolicyConfig(
+            coverage=0.99, max_distance=4096, ordering="independent"
+        ),
+    ),
+    "profile(pred)": lambda t: select_profile_pairs(
+        t,
+        ProfilePolicyConfig(
+            coverage=0.99, max_distance=4096, ordering="predictable"
+        ),
+    ),
+    "heuristics": lambda t: heuristic_pairs(t, HeuristicConfig()),
+}
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    config = ProcessorConfig()
+
+    header = f"{'benchmark':>10} " + " ".join(
+        f"{name:>18}" for name in POLICIES
+    )
+    print(header)
+    print("-" * len(header))
+
+    per_policy = {name: [] for name in POLICIES}
+    for workload in workload_names():
+        trace = load_trace(workload, scale)
+        baseline = single_thread_cycles(trace, config)
+        row = [f"{workload:>10}"]
+        for name, build in POLICIES.items():
+            stats = simulate(trace, build(trace), config)
+            speedup = baseline / stats.cycles
+            per_policy[name].append(speedup)
+            row.append(f"{speedup:>18.2f}")
+        print(" ".join(row))
+
+    print("-" * len(header))
+    row = [f"{'hmean':>10}"]
+    for name in POLICIES:
+        row.append(f"{harmonic_mean(per_policy[name]):>18.2f}")
+    print(" ".join(row))
+    print(
+        "\npaper shape: the distance-ordered profile policy leads; the "
+        "independence/predictability orderings trail it (Figure 10b), and "
+        "the combined heuristics trail on irregular codes (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

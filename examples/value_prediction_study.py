@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Value-predictor study (mini Figures 9-11).
+
+Sweeps the live-in value predictors — perfect oracle, stride (increment),
+FCM context predictor, DMT-style spawn-copy, and no prediction — and shows
+speed-ups, live-in hit ratios, and the cost of an 8-cycle thread
+initialisation overhead.
+
+Run:  python examples/value_prediction_study.py [scale]
+"""
+
+import sys
+
+from repro.cmt import ProcessorConfig, simulate, single_thread_cycles
+from repro.metrics import arithmetic_mean, harmonic_mean
+from repro.spawning import ProfilePolicyConfig, select_profile_pairs
+from repro.workloads import load_trace, workload_names
+
+PREDICTORS = ("perfect", "stride", "fcm", "last", "none")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    policy = ProfilePolicyConfig(coverage=0.99, max_distance=4096)
+
+    speedups = {vp: [] for vp in PREDICTORS}
+    hits = {vp: [] for vp in PREDICTORS}
+    overhead = []
+
+    for workload in workload_names():
+        trace = load_trace(workload, scale)
+        pairs = select_profile_pairs(trace, policy)
+        base = single_thread_cycles(trace, ProcessorConfig())
+        for vp in PREDICTORS:
+            stats = simulate(
+                trace, pairs, ProcessorConfig(value_predictor=vp)
+            )
+            speedups[vp].append(base / stats.cycles)
+            hits[vp].append(stats.value_hit_rate)
+        fast = simulate(
+            trace, pairs, ProcessorConfig(value_predictor="stride")
+        )
+        slow = simulate(
+            trace,
+            pairs,
+            ProcessorConfig(value_predictor="stride", init_overhead=8),
+        )
+        overhead.append(fast.cycles / slow.cycles)
+
+    print(f"{'predictor':>10} {'hmean speed-up':>15} {'amean hit ratio':>16}")
+    for vp in PREDICTORS:
+        hit = arithmetic_mean(hits[vp]) if any(hits[vp]) else 0.0
+        print(
+            f"{vp:>10} {harmonic_mean(speedups[vp]):>15.2f} "
+            f"{hit:>16.2f}"
+        )
+    print(
+        f"\n8-cycle init overhead slow-down (stride, hmean): "
+        f"{harmonic_mean(overhead):.2f}  (paper: ~0.88)"
+    )
+    print(
+        "paper shape: the perfect oracle bounds everything; stride is the "
+        "best realistic predictor (~70% live-in hit ratio), and the paper "
+        "never predicts memory values, which our model inherits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Kept so that editable installs work with older setuptools/pip stacks that
+lack PEP 660 wheel support (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

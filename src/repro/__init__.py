@@ -1,0 +1,20 @@
+"""Reproduction of Marcuello & Gonzalez, "Thread-Spawning Schemes for
+Speculative Multithreading" (HPCA 2002).
+
+Public API layers (bottom-up):
+
+- :mod:`repro.isa`, :mod:`repro.exec` — RISC-like ISA and functional
+  execution into dynamic traces.
+- :mod:`repro.workloads` — the SpecInt95-analogue synthetic benchmark suite.
+- :mod:`repro.profiling` — dynamic CFG, pruning, reaching-probability and
+  dependence analyses.
+- :mod:`repro.spawning` — spawning-pair policies: the paper's profile-based
+  scheme and the traditional heuristics baseline.
+- :mod:`repro.predictors` — value predictors (perfect/last-value/stride/FCM)
+  and the gshare branch predictor.
+- :mod:`repro.cmt` — the Clustered Speculative Multithreaded processor
+  timing simulator.
+- :mod:`repro.experiments` — drivers that regenerate each paper figure.
+"""
+
+__version__ = "1.0.0"

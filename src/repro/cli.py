@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``workloads``
+    List the SpecInt95-analogue suite.
+``trace <workload>``
+    Execute a workload and print dynamic-trace statistics.
+``disasm <workload>``
+    Disassemble a workload's program.
+``pairs <workload>``
+    Run a spawning policy and print (optionally save) the pair table.
+``simulate <workload>``
+    Simulate the clustered processor and print the stats and speed-up.
+``figure <name>``
+    Regenerate one figure of the paper (e.g. ``figure3``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cmt import ProcessorConfig, simulate, single_thread_cycles
+from repro.isa.assembler import disassemble
+from repro.isa.instructions import Opcode
+from repro.spawning import (
+    HeuristicConfig,
+    ProfilePolicyConfig,
+    heuristic_pairs,
+    load_pair_set,
+    save_pair_set,
+    select_profile_pairs,
+)
+from repro.workloads import build_workload, load_trace, workload_names
+
+
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+
+
+def _profile_config(args) -> ProfilePolicyConfig:
+    return ProfilePolicyConfig(
+        coverage=args.coverage,
+        max_distance=args.max_distance,
+        min_distance=args.min_distance,
+        ordering=args.ordering,
+    )
+
+
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", choices=("profile", "heuristics"),
+                        default="profile")
+    parser.add_argument("--coverage", type=float, default=0.99)
+    parser.add_argument("--min-distance", type=float, default=32.0)
+    parser.add_argument("--max-distance", type=float, default=4096.0)
+    parser.add_argument("--ordering", default="distance",
+                        choices=("distance", "independent", "predictable"))
+
+
+def _build_pairs(trace, args):
+    if getattr(args, "load", None):
+        return load_pair_set(args.load)
+    if args.policy == "heuristics":
+        return heuristic_pairs(trace, HeuristicConfig())
+    return select_profile_pairs(trace, _profile_config(args))
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import SPECINT95
+
+    for name, spec in SPECINT95.items():
+        print(f"{name:10s} {spec.description}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    trace = load_trace(args.workload, args.scale)
+    branches = sum(1 for d in trace if d.taken is not None)
+    taken = sum(1 for d in trace if d.taken)
+    loads = sum(1 for d in trace if d.op is Opcode.LOAD)
+    stores = sum(1 for d in trace if d.op is Opcode.STORE)
+    calls = sum(1 for d in trace if d.op is Opcode.CALL)
+    print(f"workload          {args.workload} (scale {args.scale})")
+    print(f"dynamic length    {len(trace)}")
+    print(f"static length     {len(trace.program)}")
+    print(f"branches          {branches} ({taken / max(branches, 1):.0%} taken)")
+    print(f"loads / stores    {loads} / {stores}")
+    print(f"calls             {calls}")
+    print(f"loop heads        {sorted(trace.program.loop_heads())}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(disassemble(build_workload(args.workload, args.scale)), end="")
+    return 0
+
+
+def cmd_pairs(args) -> int:
+    trace = load_trace(args.workload, args.scale)
+    pairs = _build_pairs(trace, args)
+    print(
+        f"{pairs.candidates_evaluated} candidates evaluated, "
+        f"{len(pairs)} spawning points"
+    )
+    for pair in sorted(pairs.primary_pairs(), key=lambda p: p.sp_pc):
+        print(
+            f"  SP {pair.sp_pc:5d} -> CQIP {pair.cqip_pc:5d}  "
+            f"P={pair.reach_probability:5.3f}  "
+            f"dist={pair.expected_distance:7.1f}  {pair.kind.value}"
+        )
+    if args.save:
+        save_pair_set(pairs, args.save)
+        print(f"saved pair table to {args.save}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    trace = load_trace(args.workload, args.scale)
+    pairs = _build_pairs(trace, args)
+    config = ProcessorConfig(
+        num_thread_units=args.tus,
+        value_predictor=args.vp,
+        init_overhead=args.init_overhead,
+        removal_cycles=args.removal,
+        min_thread_size=args.min_thread_size,
+    )
+    stats = simulate(trace, pairs, config)
+    baseline = single_thread_cycles(trace, config)
+    for key, value in stats.summary().items():
+        print(f"{key:20s} {value}")
+    print(f"{'baseline_cycles':20s} {baseline}")
+    print(f"{'speedup':20s} {baseline / stats.cycles:.3f}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.cmt.gantt import render_gantt
+
+    trace = load_trace(args.workload, args.scale)
+    pairs = _build_pairs(trace, args)
+    config = ProcessorConfig(
+        num_thread_units=args.tus,
+        value_predictor=args.vp,
+        collect_timeline=True,
+    )
+    stats = simulate(trace, pairs, config)
+    print(
+        f"{args.workload}: {stats.cycles} cycles, "
+        f"{stats.threads_committed} threads on {args.tus} units"
+    )
+    print(render_gantt(stats, args.tus, width=args.width))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+
+    if args.name not in ALL_FIGURES:
+        print(f"unknown figure {args.name!r}; pick from "
+              f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    print(ALL_FIGURES[args.name](args.scale).render())
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thread-spawning schemes for speculative multithreading "
+        "(HPCA 2002) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the benchmark suite")
+
+    p = sub.add_parser("trace", help="dynamic-trace statistics")
+    _add_workload_arg(p)
+
+    p = sub.add_parser("disasm", help="disassemble a workload")
+    _add_workload_arg(p)
+
+    p = sub.add_parser("pairs", help="select and print spawning pairs")
+    _add_workload_arg(p)
+    _add_policy_args(p)
+    p.add_argument("--save", help="write the pair table to a JSON file")
+
+    p = sub.add_parser("simulate", help="run the CSMT simulator")
+    _add_workload_arg(p)
+    _add_policy_args(p)
+    p.add_argument("--load", help="load a pair table instead of selecting")
+    p.add_argument("--tus", type=int, default=16, help="thread units")
+    p.add_argument("--vp", default="perfect",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    p.add_argument("--init-overhead", type=int, default=0)
+    p.add_argument("--removal", type=int, default=None,
+                   help="alone-cycles removal threshold")
+    p.add_argument("--min-thread-size", type=int, default=None)
+
+    p = sub.add_parser("timeline", help="ASCII Gantt of thread lifetimes")
+    _add_workload_arg(p)
+    _add_policy_args(p)
+    p.add_argument("--tus", type=int, default=8)
+    p.add_argument("--vp", default="perfect",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
+    p.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "trace": cmd_trace,
+    "disasm": cmd_disasm,
+    "pairs": cmd_pairs,
+    "simulate": cmd_simulate,
+    "timeline": cmd_timeline,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

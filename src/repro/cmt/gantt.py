@@ -1,0 +1,49 @@
+"""ASCII Gantt rendering of a simulation's thread timeline."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cmt.stats import SimulationStats
+
+
+def render_gantt(
+    stats: SimulationStats, num_thread_units: int, width: int = 100
+) -> str:
+    """Draw per-unit thread lifetimes from a timeline-enabled run.
+
+    ``=`` marks cycles a thread executed on the unit; ``.`` marks cycles
+    it had finished but was still waiting for its in-order commit slot —
+    the imbalance the paper's removal policies target.
+    """
+    if not stats.timeline:
+        raise ValueError(
+            "no timeline collected; simulate with collect_timeline=True"
+        )
+    total = max(rec.commit_cycle for rec in stats.timeline) or 1
+    per_cell = max(1, total // width)
+    lanes: List[List[str]] = [
+        [" "] * (width + 1) for _ in range(num_thread_units)
+    ]
+    for rec in stats.timeline:
+        lane = lanes[rec.tu]
+        exec_start = rec.start_cycle // per_cell
+        exec_end = max(rec.finish_cycle // per_cell, exec_start)
+        wait_end = max(rec.commit_cycle // per_cell, exec_end)
+        for x in range(exec_start, min(exec_end + 1, width + 1)):
+            lane[x] = "="
+        for x in range(exec_end + 1, min(wait_end + 1, width + 1)):
+            if lane[x] == " ":
+                lane[x] = "."
+    lines = [
+        f"({per_cell} cycles per character; '=' executing, "
+        f"'.' waiting to commit)"
+    ]
+    for tu in range(num_thread_units):
+        lines.append(f"TU{tu:02d} |{''.join(lanes[tu])}|")
+    waits = [rec.commit_cycle - rec.finish_cycle for rec in stats.timeline]
+    lines.append(
+        f"mean commit wait {sum(waits) / len(waits):.1f} cycles, "
+        f"max {max(waits)}"
+    )
+    return "\n".join(lines)

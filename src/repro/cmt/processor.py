@@ -1,0 +1,637 @@
+"""Trace-driven simulator of the Clustered Speculative Multithreaded
+Processor.
+
+Simulation strategy (see DESIGN.md Section 5): threads own disjoint,
+program-ordered segments of the sequential trace; the event loop always
+advances the thread with the smallest current fetch cycle (ties to the
+least speculative), so every spawn, forward and commit decision only
+depends on events that have already been simulated.
+
+Per thread unit the timing model implements the paper's Section 4.1 core:
+4-wide fetch stopping at the first taken branch, 4-wide dataflow-limited
+issue with the paper's functional-unit mix, a 64-entry ROB, a 10-bit
+gshare whose tables persist across threads, and a 32KB 2-way L1.
+Cross-thread register dataflow goes through the value predictor at spawn
+time; mispredicted or unpredicted live-ins synchronise with their producer
+(completion + 3-cycle forward, plus a recovery penalty when a wrong
+prediction must be squashed).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Dict, List, Optional
+
+from repro.cmt.config import ProcessorConfig
+from repro.cmt.spawn_runtime import SpawnRuntime
+from repro.cmt.stats import SimulationStats, ThreadRecord
+from repro.cmt.thread_unit import ThreadUnit
+from repro.exec.trace import Trace
+from repro.isa.instructions import FuClass, Opcode, fu_class, latency_of
+from repro.predictors.value import PerfectPredictor, make_value_predictor
+from repro.spawning.pairs import SpawnPair, SpawnPairSet
+
+_INFINITY = float("inf")
+
+#: Live-in prediction status values.
+_HIT = 0  # predicted correctly: value ready at thread start
+_MISS = 1  # predicted wrongly: synchronise + recovery penalty
+_SYNC = 2  # not predicted: synchronise with the producer
+
+
+class _Thread:
+    """One speculative thread: a trace segment plus timing state."""
+
+    __slots__ = (
+        "start",
+        "join",
+        "cursor",
+        "fetch_cycle",
+        "tu",
+        "start_cycle",
+        "local_index",
+        "commit_ring",
+        "last_commit",
+        "finished",
+        "finish_cycle",
+        "pair",
+        "livein_status",
+        "livein_actuals",
+        "alone_cycles",
+        "alone_reported",
+        "executed",
+        "ghost_tus",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        start: int,
+        join: int,
+        tu: ThreadUnit,
+        start_cycle: int,
+        pair: Optional[SpawnPair],
+        seq: int,
+    ):
+        self.start = start
+        self.join = join
+        self.cursor = start
+        self.fetch_cycle = start_cycle
+        self.tu = tu
+        self.start_cycle = start_cycle
+        self.local_index = 0
+        self.commit_ring: List[int] = []
+        self.last_commit = start_cycle
+        self.finished = False
+        self.finish_cycle = start_cycle
+        self.pair = pair
+        self.livein_status: Dict[int, int] = {}
+        self.livein_actuals: Dict[int, object] = {}
+        self.alone_cycles = 0
+        self.alone_reported = False
+        self.executed = 0
+        self.ghost_tus: List[ThreadUnit] = []
+        self.seq = seq
+
+    def __lt__(self, other: "_Thread") -> bool:  # heap tie-breaking
+        return self.start < other.start
+
+
+class ClusteredProcessor:
+    """Simulates one trace under a spawning policy and configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        pairs: Optional[SpawnPairSet] = None,
+        config: Optional[ProcessorConfig] = None,
+    ):
+        self.trace = trace
+        self.config = config or ProcessorConfig()
+        self.pairs = pairs if pairs is not None else SpawnPairSet([])
+        self.runtime = SpawnRuntime(self.pairs, self.config)
+        self.value_predictor = make_value_predictor(
+            self.config.value_predictor, self.config.value_predictor_kb
+        )
+        self.stats = SimulationStats()
+        self._tus = [ThreadUnit(i, self.config) for i in range(self.config.num_thread_units)]
+        self._completion: List[Optional[int]] = [None] * len(trace)
+        self._order: List[_Thread] = []  # active threads in program order
+        self._heap: List = []
+        self._last_commit_cycle = 0
+        self._next_seq = 0
+        if self.config.prime_value_predictor and self.config.value_predictor not in (
+            "perfect",
+            "none",
+        ):
+            self._prime_predictor()
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        """Simulate the full trace; returns the statistics."""
+        trace = self.trace
+        if len(trace) == 0:
+            return self.stats
+        root = self._make_thread(
+            start=0,
+            join=len(trace),
+            tu=self._tus[0],
+            start_cycle=0,
+            pair=None,
+        )
+        self._tus[0].free_at = _INFINITY  # occupied by the root
+        self._order.append(root)
+        self._push(root)
+
+        while self._heap:
+            cycle, _start, thread = heapq.heappop(self._heap)
+            if thread.finished or cycle != thread.fetch_cycle:
+                continue  # stale heap entry
+            self._advance(thread)
+            if not thread.finished:
+                self._push(thread)
+
+        self.stats.cycles = int(self._last_commit_cycle)
+        self.stats.instructions = len(trace)
+        for tu in self._tus:
+            self.stats.branch_predictions += tu.gshare.predictions
+            self.stats.branch_hits += tu.gshare.hits
+            self.stats.cache_accesses += tu.l1.accesses
+            self.stats.cache_misses += tu.l1.misses
+        self.stats.value_predictions = self.value_predictor.predictions
+        self.stats.value_hits = self.value_predictor.hits
+        self.stats.pairs_removed_alone = self.runtime.removed_alone
+        self.stats.pairs_removed_min_size = self.runtime.removed_min_size
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Event loop pieces.
+    # ------------------------------------------------------------------
+
+    def _push(self, thread: _Thread) -> None:
+        heapq.heappush(self._heap, (thread.fetch_cycle, thread.start, thread))
+
+    def _make_thread(
+        self,
+        start: int,
+        join: int,
+        tu: ThreadUnit,
+        start_cycle: int,
+        pair: Optional[SpawnPair],
+    ) -> _Thread:
+        thread = _Thread(start, join, tu, start_cycle, pair, self._next_seq)
+        self._next_seq += 1
+        return thread
+
+    def _advance(self, thread: _Thread) -> None:
+        """Process one fetch group of ``thread``."""
+        config = self.config
+        trace = self.trace
+        completion = self._completion
+        cycle = thread.fetch_cycle
+        # "Executing alone": fewer than ``removal_coactive_threshold``
+        # other active threads are still running and at least one waiter
+        # exists (a lone productive tail with idle units wastes nothing).
+        alone = False
+        if config.removal_cycles is not None and thread.pair is not None:
+            if len(self._order) > 1:
+                running_others = sum(
+                    1
+                    for other in self._order
+                    if other is not thread and not other.finished
+                )
+                alone = running_others < config.removal_coactive_threshold
+
+        pos = thread.cursor
+        # ROB full at the group head: wait for the oldest entry to commit.
+        if thread.local_index >= config.rob_size:
+            blocker = thread.commit_ring[thread.local_index - config.rob_size]
+            if blocker > cycle:
+                cycle = blocker
+
+        next_fetch = cycle + 1
+        spawn_penalty = 0
+        fetched = 0
+        while fetched < config.fetch_width and pos < thread.join:
+            if thread.local_index >= config.rob_size:
+                blocker = thread.commit_ring[
+                    thread.local_index - config.rob_size
+                ]
+                if blocker > cycle:
+                    break  # the rest of the group waits for ROB space
+            inst = trace[pos]
+            op = inst.op
+
+            # Spawn attempt at a spawning point (checked at fetch).
+            if self.runtime.is_spawning_point(inst.pc):
+                spawn_penalty += self._try_spawn(thread, pos, inst.pc, cycle)
+
+            # Operand readiness.
+            ready = cycle + 1  # decode/rename stage
+            blocked_on = None
+            deps = trace.register_deps[pos]
+            for src_i, producer in enumerate(deps):
+                if producer < 0:
+                    continue
+                if producer >= thread.start:
+                    when = completion[producer]
+                    if when is None:
+                        raise AssertionError(
+                            "internal producer not yet simulated"
+                        )
+                else:
+                    when = self._external_value_time(
+                        thread, inst.srcs[src_i], producer
+                    )
+                    if when is None:
+                        blocked_on = producer
+                        break
+                if when > ready:
+                    ready = when
+            if blocked_on is None and op is Opcode.LOAD:
+                producer = trace.memory_deps[pos]
+                if producer >= 0 and not (
+                    config.perfect_memory and producer < thread.start
+                ):
+                    when = completion[producer]
+                    if when is None and producer < thread.start:
+                        blocked_on = producer
+                    elif when is None:
+                        raise AssertionError(
+                            "internal store not yet simulated"
+                        )
+                    else:
+                        if producer < thread.start:
+                            when += config.forward_latency
+                        if when > ready:
+                            ready = when
+            if blocked_on is not None:
+                # Producer thread has not simulated that position yet: park
+                # until it progresses (its cycle bounds ours from below).
+                owner = self._owner_of(blocked_on)
+                stall_to = max(
+                    thread.fetch_cycle + 1,
+                    owner.fetch_cycle if owner is not None else cycle + 1,
+                )
+                thread.cursor = pos
+                thread.fetch_cycle = stall_to
+                self._track_alone(thread, alone, stall_to - cycle)
+                return
+
+            # Execution latency and resources.
+            if op is Opcode.LOAD:
+                latency = 1 + thread.tu.l1.access(inst.addr)
+                fu = FuClass.LDST
+            elif op is Opcode.STORE:
+                thread.tu.l1.access(inst.addr, is_store=True)
+                latency = 1
+                fu = FuClass.LDST
+            else:
+                fu = fu_class(op)
+                latency = latency_of(op)
+            issue = thread.tu.book_issue(ready, fu)
+            done = issue + latency
+            completion[pos] = done
+
+            commit = done if done > thread.last_commit else thread.last_commit
+            thread.last_commit = commit
+            thread.commit_ring.append(commit)
+            thread.local_index += 1
+            thread.executed += 1
+            pos += 1
+            fetched += 1
+
+            # Control flow shapes the fetch group.
+            if inst.taken is not None:
+                correct = thread.tu.gshare.update(inst.pc, inst.taken)
+                if not correct:
+                    next_fetch = done + config.mispredict_penalty
+                    break
+                if inst.taken:
+                    break  # fetch stops at the first taken branch
+            elif op in (Opcode.JUMP, Opcode.CALL, Opcode.RET):
+                break  # unconditional transfers end the group too
+
+        thread.cursor = pos
+        thread.fetch_cycle = max(next_fetch, cycle + 1 + spawn_penalty)
+        self._track_alone(thread, alone, thread.fetch_cycle - cycle)
+        if pos >= thread.join:
+            self._finish(thread)
+
+    def _track_alone(self, thread: _Thread, was_alone: bool, delta: int) -> None:
+        if not was_alone or self.config.removal_cycles is None:
+            return
+        thread.alone_cycles += max(delta, 0)
+        if (
+            not thread.alone_reported
+            and thread.alone_cycles >= self.config.removal_cycles
+        ):
+            thread.alone_reported = True
+            self.runtime.note_alone_threshold(thread.pair, thread.fetch_cycle)
+
+    def _owner_of(self, pos: int) -> Optional[_Thread]:
+        """Active thread whose segment contains trace position ``pos``."""
+        for thread in self._order:
+            if thread.start <= pos < thread.join:
+                return thread
+        return None
+
+    def _external_value_time(
+        self, thread: _Thread, reg: int, producer: int
+    ) -> Optional[int]:
+        """Availability of a register produced before the thread started.
+
+        Returns None when the producer has not been simulated yet (the
+        caller parks the thread).
+        """
+        status = thread.livein_status.get(reg)
+        if status == _HIT:
+            return thread.start_cycle
+        when = self._completion[producer]
+        if when is None:
+            return None
+        when += self.config.forward_latency
+        if status == _MISS:
+            when += self.config.misprediction_recovery
+        return when
+
+    # ------------------------------------------------------------------
+    # Spawning.
+    # ------------------------------------------------------------------
+
+    def _try_spawn(self, parent: _Thread, pos: int, sp_pc: int, cycle: int) -> int:
+        """Attempt a spawn; returns the cycles the fork op cost the parent."""
+        config = self.config
+        if config.spawn_order_check == "tail" and (
+            self._order and self._order[-1] is not parent
+        ):
+            return 0
+        candidates = self.runtime.candidates(sp_pc, cycle)
+        if not candidates:
+            return 0
+        trace = self.trace
+
+        # "Already started": the immediate successor sits exactly at the
+        # best CQIP — nothing to do.
+        best = candidates[0]
+        if parent.join < len(trace) and trace[parent.join].pc == best.cqip_pc:
+            self.stats.spawns_skipped_existing += 1
+            return 0
+
+        if (
+            config.spawn_order_check == "counter"
+            and parent.pair is not None
+            and self._order
+            and self._order[-1] is not parent
+        ):
+            # Interior thread: a new thread must fit between the parent and
+            # its existing successor, so reject candidates expected to
+            # outrun the parent's remaining segment.  The tail thread is
+            # exempt — anything it spawns becomes the new tail, which is
+            # order-safe by construction.
+            remaining = parent.pair.expected_distance - (pos - parent.start)
+            remaining *= config.order_check_slack
+            candidates = [
+                pair
+                for pair in candidates
+                if pair.expected_distance <= remaining
+            ]
+            if not candidates:
+                self.stats.spawns_rejected_order += 1
+                return 0
+
+        tu = self._free_tu(cycle)
+        if tu is None:
+            self.stats.spawns_denied_no_tu += 1
+            return 0
+
+        chosen = None
+        occurrence = None
+        for index, pair in enumerate(candidates):
+            occurrence = trace.next_occurrence(pair.cqip_pc, pos, parent.join)
+            if occurrence is not None:
+                chosen = pair
+                if index > 0:
+                    self.stats.reassign_fallbacks += 1
+                break
+        if chosen is None or occurrence is None:
+            if config.spawn_order_check == "exact":
+                # Oracle ordering: the rejected spawn consumes nothing.
+                self.stats.spawns_rejected_order += 1
+                return 0
+            # Control misspeculation: the hardware spawns and only later
+            # discovers the CQIP is never reached; the unit is wasted until
+            # the parent exhausts its segment.
+            tu.free_at = _INFINITY
+            parent.ghost_tus.append(tu)
+            self.stats.control_misspeculations += 1
+            return config.spawn_cost
+
+        start_cycle = cycle + self.config.spawn_cost + self.config.init_overhead
+        child = self._make_thread(
+            start=occurrence,
+            join=parent.join,
+            tu=tu,
+            start_cycle=start_cycle,
+            pair=chosen,
+        )
+        parent.join = occurrence
+        tu.free_at = _INFINITY
+        insort(self._order, child, key=lambda t: t.start)
+        self._push(child)
+        self.stats.spawns += 1
+        self._predict_liveins(child, chosen, spawn_pos=pos)
+        return self.config.spawn_cost
+
+    def _free_tu(self, cycle: int) -> Optional[ThreadUnit]:
+        best = None
+        for tu in self._tus:
+            if tu.free_at <= cycle and (best is None or tu.free_at < best.free_at):
+                best = tu
+        return best
+
+    def _predict_liveins(
+        self, child: _Thread, pair: SpawnPair, spawn_pos: int
+    ) -> None:
+        """Enumerate live-in registers of the new thread and predict them.
+
+        Registers whose last producer executed *before the spawning point*
+        are copied from the parent's register file at spawn (always
+        correct, no prediction involved).  Only values produced between
+        the SP and the CQIP — not yet computed at spawn time — go through
+        the value predictor, matching the paper's live-in definition [14].
+        """
+        trace = self.trace
+        vp = self.value_predictor
+        perfect = isinstance(vp, PerfectPredictor)
+        predict_nothing = self.config.value_predictor == "none"
+        # The predictor was last trained at the most recent commit of this
+        # pair; in-flight instances (including the new one) determine how
+        # far the recurrence must be projected forward.
+        pair_key = pair.key()
+        lookahead = sum(
+            1
+            for t in self._order
+            if t.pair is not None and t.pair.key() == pair_key
+        )
+        lookahead = max(lookahead, 1)
+        start = child.start
+        end = min(child.join, start + self.config.livein_scan_cap)
+        written = set()
+        reg_deps = trace.register_deps
+        for pos in range(start, end):
+            inst = trace[pos]
+            deps = reg_deps[pos]
+            for src_i, reg in enumerate(inst.srcs):
+                if reg == 0 or reg in written or reg in child.livein_status:
+                    continue
+                producer = deps[src_i]
+                if producer >= start:
+                    continue
+                if producer < spawn_pos:
+                    # Computed before the spawn fired: the register-file
+                    # copy at spawn delivers it for free (a copy is a
+                    # trivially-correct prediction and counts as one, as
+                    # in the DMT baseline predictor).
+                    child.livein_status[reg] = _HIT
+                    if not perfect and not predict_nothing:
+                        vp.record(True)
+                    continue
+                actual = trace[producer].dst_value if producer >= 0 else 0
+                base = trace.value_of_register_at(reg, spawn_pos)
+                child.livein_actuals[reg] = (base, actual)
+                if perfect:
+                    child.livein_status[reg] = _HIT
+                    vp.record(True)
+                elif predict_nothing:
+                    child.livein_status[reg] = _SYNC
+                else:
+                    predicted = vp.predict(
+                        pair.sp_pc, pair.cqip_pc, reg, base, lookahead
+                    )
+                    hit = predicted is not None and predicted == actual
+                    vp.record(hit)
+                    child.livein_status[reg] = _HIT if hit else _MISS
+            if inst.dst is not None and inst.dst != 0:
+                written.add(inst.dst)
+
+    def _prime_predictor(self) -> None:
+        """Train the value-predictor tables from the profiling run.
+
+        Replays up to ``prime_samples`` dynamic instances of every pair,
+        feeding (spawn-time base, CQIP live-in) observations exactly as
+        commit-time training would — the spawning pairs already come from
+        this profile pass, so the hardware tables can be preset with it.
+        """
+        trace = self.trace
+        vp = self.value_predictor
+        config = self.config
+        reg_deps = trace.register_deps
+        for sp_pc in self.pairs.spawning_points():
+            for pair in self.pairs.alternatives(sp_pc):
+                positions = trace.positions_of(pair.sp_pc)
+                window = int(8 * max(pair.expected_distance, 32))
+                taken = 0
+                for s_pos in positions:
+                    if taken >= config.prime_samples:
+                        break
+                    c_pos = trace.next_occurrence(
+                        pair.cqip_pc, s_pos, min(len(trace), s_pos + window)
+                    )
+                    if c_pos is None:
+                        continue
+                    taken += 1
+                    end = min(
+                        len(trace),
+                        c_pos + min(int(pair.expected_distance) + 1,
+                                    config.livein_scan_cap),
+                    )
+                    written = set()
+                    seen = set()
+                    for pos in range(c_pos, end):
+                        inst = trace[pos]
+                        deps = reg_deps[pos]
+                        for src_i, reg in enumerate(inst.srcs):
+                            if reg == 0 or reg in written or reg in seen:
+                                continue
+                            producer = deps[src_i]
+                            if producer >= c_pos or producer < s_pos:
+                                continue
+                            seen.add(reg)
+                            base = trace.value_of_register_at(reg, s_pos)
+                            actual = trace[producer].dst_value
+                            vp.train(pair.sp_pc, pair.cqip_pc, reg, base, actual)
+                        if inst.dst is not None and inst.dst != 0:
+                            written.add(inst.dst)
+
+    # ------------------------------------------------------------------
+    # Completion.
+    # ------------------------------------------------------------------
+
+    def _finish(self, thread: _Thread) -> None:
+        thread.finished = True
+        thread.finish_cycle = max(thread.last_commit, thread.start_cycle)
+        for tu in thread.ghost_tus:
+            tu.free_at = thread.finish_cycle
+        thread.ghost_tus = []
+        # Commit every leading finished thread, in program order.
+        while self._order and self._order[0].finished:
+            oldest = self._order.pop(0)
+            commit_cycle = max(
+                oldest.finish_cycle,
+                self._last_commit_cycle + self.config.commit_latency,
+            )
+            self._last_commit_cycle = commit_cycle
+            oldest.tu.free_at = commit_cycle
+            self.stats.threads_committed += 1
+            self.stats.thread_sizes.append(oldest.executed)
+            self.stats.busy_cycles += max(
+                oldest.finish_cycle - oldest.start_cycle, 0
+            )
+            if oldest.pair is not None:
+                vp = self.value_predictor
+                for reg, (base, actual) in oldest.livein_actuals.items():
+                    vp.train(
+                        oldest.pair.sp_pc, oldest.pair.cqip_pc, reg, base, actual
+                    )
+            if self.config.collect_timeline:
+                hits = sum(
+                    1 for s in oldest.livein_status.values() if s == _HIT
+                )
+                self.stats.timeline.append(
+                    ThreadRecord(
+                        start_pos=oldest.start,
+                        size=oldest.executed,
+                        tu=oldest.tu.tu_id,
+                        start_cycle=int(oldest.start_cycle),
+                        finish_cycle=int(oldest.finish_cycle),
+                        commit_cycle=int(commit_cycle),
+                        pair=oldest.pair.key() if oldest.pair else None,
+                        livein_hits=hits,
+                        livein_misses=len(oldest.livein_status) - hits,
+                    )
+                )
+            self.runtime.note_thread_size(
+                oldest.pair, oldest.executed, int(commit_cycle)
+            )
+
+
+def simulate(
+    trace: Trace,
+    pairs: Optional[SpawnPairSet] = None,
+    config: Optional[ProcessorConfig] = None,
+) -> SimulationStats:
+    """Run one simulation (convenience wrapper)."""
+    return ClusteredProcessor(trace, pairs, config).run()
+
+
+def single_thread_cycles(
+    trace: Trace, config: Optional[ProcessorConfig] = None
+) -> int:
+    """Cycles of the single-threaded baseline under the same core model."""
+    base = (config or ProcessorConfig()).single_threaded()
+    return simulate(trace, SpawnPairSet([]), base).cycles

@@ -1,0 +1,102 @@
+"""Simulation statistics returned by the processor model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ThreadRecord:
+    """Lifetime of one committed thread (collected when
+    ``ProcessorConfig.collect_timeline`` is set)."""
+
+    start_pos: int
+    size: int
+    tu: int
+    start_cycle: int
+    finish_cycle: int
+    commit_cycle: int
+    pair: Optional[Tuple[int, int]]  # (SP pc, CQIP pc); None for the root
+    livein_hits: int
+    livein_misses: int
+
+
+@dataclass
+class SimulationStats:
+    """Counters for one simulated execution.
+
+    ``avg_active_threads`` is time-weighted (thread busy cycles divided by
+    total cycles — the quantity of Figure 4); ``avg_thread_size`` is
+    instructions executed per committed thread (Figure 7a);
+    ``value_hit_rate`` counts live-in predictions only (Figure 9a).
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    threads_committed: int = 0
+    spawns: int = 0
+    control_misspeculations: int = 0
+    spawns_denied_no_tu: int = 0
+    spawns_skipped_existing: int = 0
+    spawns_rejected_order: int = 0
+    pairs_removed_alone: int = 0
+    pairs_removed_min_size: int = 0
+    value_predictions: int = 0
+    value_hits: int = 0
+    branch_predictions: int = 0
+    branch_hits: int = 0
+    cache_accesses: int = 0
+    cache_misses: int = 0
+    busy_cycles: float = 0.0
+    thread_sizes: List[int] = field(default_factory=list)
+    reassign_fallbacks: int = 0
+    #: Per-thread records, only populated under ``collect_timeline``.
+    timeline: List[ThreadRecord] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_active_threads(self) -> float:
+        return self.busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_thread_size(self) -> float:
+        if not self.thread_sizes:
+            return 0.0
+        return sum(self.thread_sizes) / len(self.thread_sizes)
+
+    @property
+    def value_hit_rate(self) -> float:
+        if not self.value_predictions:
+            return 0.0
+        return self.value_hits / self.value_predictions
+
+    @property
+    def branch_hit_rate(self) -> float:
+        if not self.branch_predictions:
+            return 0.0
+        return self.branch_hits / self.branch_predictions
+
+    @property
+    def cache_miss_rate(self) -> float:
+        if not self.cache_accesses:
+            return 0.0
+        return self.cache_misses / self.cache_accesses
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict view for tables and logs."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 3),
+            "threads": self.threads_committed,
+            "spawns": self.spawns,
+            "ghost_spawns": self.control_misspeculations,
+            "avg_active_threads": round(self.avg_active_threads, 2),
+            "avg_thread_size": round(self.avg_thread_size, 1),
+            "value_hit_rate": round(self.value_hit_rate, 3),
+            "branch_hit_rate": round(self.branch_hit_rate, 3),
+        }

@@ -1,0 +1,65 @@
+"""Per-thread-unit resources: branch predictor, L1 cache, issue bandwidth.
+
+A thread unit is one cluster of the processor; threads are assigned to a
+unit for their whole life, and the unit's predictor/cache state persists
+across the threads that run on it (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cmt.config import ProcessorConfig
+from repro.isa.instructions import FU_COUNT, FuClass
+from repro.predictors.branch import make_branch_predictor
+from repro.mem.l1 import L1Cache
+
+
+class ThreadUnit:
+    """Execution resources of one cluster."""
+
+    def __init__(self, tu_id: int, config: ProcessorConfig):
+        self.tu_id = tu_id
+        self.config = config
+        self.gshare = make_branch_predictor(
+            config.branch_predictor, config.branch_history_bits
+        )
+        self.l1 = L1Cache(
+            size_kb=config.l1_size_kb,
+            assoc=config.l1_assoc,
+            block_words=config.l1_block_words,
+            hit_latency=config.l1_hit_latency,
+            miss_latency=config.l1_miss_latency,
+        )
+        #: cycle -> instructions issued that cycle (issue-width budget).
+        self._issue_used: Dict[int, int] = {}
+        #: (fu class, cycle) -> units of that class busy issuing that cycle.
+        self._fu_used: Dict[Tuple[FuClass, int], int] = {}
+        #: cycle at which the unit becomes free for a new thread.
+        self.free_at = 0
+
+    def book_issue(self, earliest: int, fu: FuClass) -> int:
+        """Reserve an issue slot and a functional unit.
+
+        Returns the first cycle >= ``earliest`` with both an issue-width
+        slot and a free unit of class ``fu`` (units are fully pipelined:
+        the reservation covers the issue cycle only).
+        """
+        issue_width = self.config.issue_width
+        fu_limit = FU_COUNT[fu]
+        cycle = earliest
+        issue_used = self._issue_used
+        fu_used = self._fu_used
+        while True:
+            if issue_used.get(cycle, 0) < issue_width and (
+                fu_used.get((fu, cycle), 0) < fu_limit
+            ):
+                issue_used[cycle] = issue_used.get(cycle, 0) + 1
+                fu_used[(fu, cycle)] = fu_used.get((fu, cycle), 0) + 1
+                return cycle
+            cycle += 1
+
+    def reset_bandwidth_tracking(self) -> None:
+        """Drop per-cycle bookkeeping (between independent simulations)."""
+        self._issue_used.clear()
+        self._fu_used.clear()

@@ -1,0 +1,6 @@
+"""Functional execution of programs into dynamic instruction traces."""
+
+from repro.exec.machine import ExecutionError, Machine, run_program
+from repro.exec.trace import DynInst, Trace
+
+__all__ = ["Machine", "run_program", "ExecutionError", "DynInst", "Trace"]

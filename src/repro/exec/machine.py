@@ -1,0 +1,194 @@
+"""Functional interpreter producing dynamic traces.
+
+The machine executes a :class:`~repro.isa.program.Program` architecturally
+(no timing) and records every retired instruction with operand values,
+memory addresses and branch outcomes — the information the profile analysis,
+value predictors and the trace-driven SpMT simulator need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exec.trace import DynInst, Trace
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+_MASK = (1 << 32) - 1
+_SIGN = 1 << 31
+
+
+def _wrap32(value: int) -> int:
+    """Wrap integer results to 32-bit two's complement."""
+    value &= _MASK
+    return value - (1 << 32) if value & _SIGN else value
+
+
+class ExecutionError(RuntimeError):
+    """Raised on architectural errors (bad pc, return without call, runaway)."""
+
+
+class Machine:
+    """Architectural state: 64 registers, word-addressed memory, call stack."""
+
+    def __init__(self, program: Program):
+        program.validate()
+        self.program = program
+        self.regs: List = [0] * 64
+        self.memory: Dict[int, object] = dict(program.initial_memory)
+        self.call_stack: List[int] = []
+        self.pc = 0
+        self.halted = False
+
+    def _read(self, reg: int):
+        return 0 if reg == 0 else self.regs[reg]
+
+    def _write(self, reg: Optional[int], value) -> None:
+        if reg is not None and reg != 0:
+            if isinstance(value, int):
+                value = _wrap32(value)
+            self.regs[reg] = value
+
+    def step(self) -> DynInst:
+        """Execute one instruction and return its dynamic record."""
+        if self.halted:
+            raise ExecutionError("machine is halted")
+        if not 0 <= self.pc < len(self.program):
+            raise ExecutionError(f"pc {self.pc} outside program")
+        pc = self.pc
+        inst = self.program[pc]
+        op = inst.op
+        src_values = tuple(self._read(reg) for reg in inst.srcs)
+        dst_value = None
+        addr = None
+        taken: Optional[bool] = None
+        next_pc = pc + 1
+
+        if op is Opcode.LI:
+            dst_value = inst.imm
+        elif op is Opcode.MOV:
+            dst_value = src_values[0]
+        elif op is Opcode.ADD:
+            dst_value = src_values[0] + src_values[1]
+        elif op is Opcode.SUB:
+            dst_value = src_values[0] - src_values[1]
+        elif op is Opcode.AND:
+            dst_value = src_values[0] & src_values[1]
+        elif op is Opcode.OR:
+            dst_value = src_values[0] | src_values[1]
+        elif op is Opcode.XOR:
+            dst_value = src_values[0] ^ src_values[1]
+        elif op is Opcode.SHL:
+            dst_value = src_values[0] << (src_values[1] & 31)
+        elif op is Opcode.SHR:
+            dst_value = (src_values[0] & _MASK) >> (src_values[1] & 31)
+        elif op is Opcode.SLT:
+            dst_value = int(src_values[0] < src_values[1])
+        elif op is Opcode.ADDI:
+            dst_value = src_values[0] + inst.imm
+        elif op is Opcode.ANDI:
+            dst_value = src_values[0] & inst.imm
+        elif op is Opcode.ORI:
+            dst_value = src_values[0] | inst.imm
+        elif op is Opcode.XORI:
+            dst_value = src_values[0] ^ inst.imm
+        elif op is Opcode.SHLI:
+            dst_value = src_values[0] << (inst.imm & 31)
+        elif op is Opcode.SHRI:
+            dst_value = (src_values[0] & _MASK) >> (inst.imm & 31)
+        elif op is Opcode.SLTI:
+            dst_value = int(src_values[0] < inst.imm)
+        elif op is Opcode.MUL:
+            dst_value = src_values[0] * src_values[1]
+        elif op is Opcode.DIV:
+            dst_value = 0 if src_values[1] == 0 else int(src_values[0] / src_values[1])
+        elif op is Opcode.REM:
+            dst_value = (
+                0
+                if src_values[1] == 0
+                else src_values[0] - int(src_values[0] / src_values[1]) * src_values[1]
+            )
+        elif op is Opcode.FADD:
+            dst_value = float(src_values[0]) + float(src_values[1])
+        elif op is Opcode.FSUB:
+            dst_value = float(src_values[0]) - float(src_values[1])
+        elif op is Opcode.FMUL:
+            dst_value = float(src_values[0]) * float(src_values[1])
+        elif op is Opcode.FDIV:
+            denom = float(src_values[1])
+            dst_value = 0.0 if denom == 0.0 else float(src_values[0]) / denom
+        elif op is Opcode.FCVT:
+            dst_value = float(src_values[0])
+        elif op is Opcode.LOAD:
+            addr = int(src_values[0]) + (inst.imm or 0)
+            dst_value = self.memory.get(addr, 0)
+        elif op is Opcode.STORE:
+            addr = int(src_values[1]) + (inst.imm or 0)
+            self.memory[addr] = src_values[0]
+        elif op is Opcode.BEQ:
+            taken = src_values[0] == src_values[1]
+        elif op is Opcode.BNE:
+            taken = src_values[0] != src_values[1]
+        elif op is Opcode.BLT:
+            taken = src_values[0] < src_values[1]
+        elif op is Opcode.BGE:
+            taken = src_values[0] >= src_values[1]
+        elif op is Opcode.BEQZ:
+            taken = src_values[0] == 0
+        elif op is Opcode.BNEZ:
+            taken = src_values[0] != 0
+        elif op is Opcode.JUMP:
+            next_pc = inst.target
+        elif op is Opcode.CALL:
+            self.call_stack.append(pc + 1)
+            next_pc = inst.target
+        elif op is Opcode.RET:
+            if not self.call_stack:
+                raise ExecutionError(f"pc {pc}: return with empty call stack")
+            next_pc = self.call_stack.pop()
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        if taken is not None and taken:
+            next_pc = inst.target
+        if dst_value is not None:
+            self._write(inst.dst, dst_value)
+            if inst.dst is not None and inst.dst != 0 and isinstance(dst_value, int):
+                dst_value = self.regs[inst.dst]
+
+        self.pc = next_pc
+        return DynInst(
+            pc=pc,
+            op=op,
+            dst=inst.dst if dst_value is not None else None,
+            dst_value=dst_value,
+            srcs=inst.srcs,
+            src_values=src_values,
+            addr=addr,
+            taken=taken,
+            next_pc=next_pc,
+        )
+
+    def run(self, max_steps: int = 2_000_000) -> Trace:
+        """Execute to HALT, returning the dynamic trace.
+
+        Raises :class:`ExecutionError` if the program does not halt within
+        ``max_steps`` — runaway loops in a workload are a bug, not data.
+        """
+        insts: List[DynInst] = []
+        for _ in range(max_steps):
+            insts.append(self.step())
+            if self.halted:
+                return Trace(self.program, insts)
+        raise ExecutionError(
+            f"program {self.program.name!r} did not halt in {max_steps} steps"
+        )
+
+
+def run_program(program: Program, max_steps: int = 2_000_000) -> Trace:
+    """Convenience wrapper: execute ``program`` from a fresh machine."""
+    return Machine(program).run(max_steps=max_steps)

@@ -1,0 +1,201 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` is the interface between the functional front-end and
+everything downstream: the profiler, the spawning-policy analyses and the
+clustered SpMT timing simulator are all trace-driven, mirroring the paper's
+ATOM-based methodology.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+
+class DynInst:
+    """One executed instruction.
+
+    ``srcs``/``src_values`` include every register read; ``dst``/``dst_value``
+    the register written (if any).  ``addr`` is the word address touched by a
+    load or store.  ``taken``/``next_pc`` record the control outcome.
+    """
+
+    __slots__ = (
+        "pc",
+        "op",
+        "dst",
+        "dst_value",
+        "srcs",
+        "src_values",
+        "addr",
+        "taken",
+        "next_pc",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        op: Opcode,
+        dst: Optional[int],
+        dst_value,
+        srcs: Tuple[int, ...],
+        src_values: Tuple,
+        addr: Optional[int],
+        taken: Optional[bool],
+        next_pc: int,
+    ):
+        self.pc = pc
+        self.op = op
+        self.dst = dst
+        self.dst_value = dst_value
+        self.srcs = srcs
+        self.src_values = src_values
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+
+    @property
+    def is_branch(self) -> bool:
+        return self.taken is not None
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynInst(pc={self.pc}, op={self.op.value})"
+
+
+class Trace:
+    """A complete dynamic execution of a program.
+
+    Provides the two derived views the rest of the system relies on:
+
+    - ``positions_of(pc)``: sorted trace positions where ``pc`` executed,
+      used by the SpMT simulator to locate the next occurrence of a CQIP.
+    - ``register_deps``/``memory_deps``: for each position, the producing
+      position of each register source (and of the loaded value), used for
+      dataflow timing and the independence/predictability profiles.
+    """
+
+    def __init__(self, program: Program, insts: List[DynInst]):
+        self.program = program
+        self.insts = insts
+        self._pc_index: Optional[Dict[int, List[int]]] = None
+        self._register_deps: Optional[List[Tuple[int, ...]]] = None
+        self._memory_deps: Optional[List[int]] = None
+        self._register_writes: Optional[Dict[int, Tuple[List[int], List]]] = None
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __getitem__(self, pos: int) -> DynInst:
+        return self.insts[pos]
+
+    def __iter__(self):
+        return iter(self.insts)
+
+    # ------------------------------------------------------------------
+    # pc index.
+    # ------------------------------------------------------------------
+
+    @property
+    def pc_index(self) -> Dict[int, List[int]]:
+        if self._pc_index is None:
+            index: Dict[int, List[int]] = {}
+            for pos, inst in enumerate(self.insts):
+                index.setdefault(inst.pc, []).append(pos)
+            self._pc_index = index
+        return self._pc_index
+
+    def positions_of(self, pc: int) -> Sequence[int]:
+        """All trace positions at which ``pc`` executed (sorted)."""
+        return self.pc_index.get(pc, ())
+
+    def next_occurrence(self, pc: int, after: int, before: int) -> Optional[int]:
+        """First position of ``pc`` in the open interval (after, before)."""
+        positions = self.pc_index.get(pc)
+        if not positions:
+            return None
+        i = bisect.bisect_right(positions, after)
+        if i < len(positions) and positions[i] < before:
+            return positions[i]
+        return None
+
+    # ------------------------------------------------------------------
+    # Dataflow dependences.
+    # ------------------------------------------------------------------
+
+    def _compute_deps(self) -> None:
+        last_reg_write: Dict[int, int] = {}
+        last_store: Dict[int, int] = {}
+        register_deps: List[Tuple[int, ...]] = []
+        memory_deps: List[int] = []
+        for pos, inst in enumerate(self.insts):
+            register_deps.append(
+                tuple(last_reg_write.get(reg, -1) for reg in inst.srcs)
+            )
+            if inst.op is Opcode.LOAD:
+                memory_deps.append(last_store.get(inst.addr, -1))
+            else:
+                memory_deps.append(-1)
+            if inst.dst is not None and inst.dst != 0:
+                last_reg_write[inst.dst] = pos
+            if inst.op is Opcode.STORE:
+                last_store[inst.addr] = pos
+        self._register_deps = register_deps
+        self._memory_deps = memory_deps
+
+    @property
+    def register_deps(self) -> List[Tuple[int, ...]]:
+        """Per position: producing position of each register source (-1 if live-in)."""
+        if self._register_deps is None:
+            self._compute_deps()
+        assert self._register_deps is not None
+        return self._register_deps
+
+    @property
+    def memory_deps(self) -> List[int]:
+        """Per position: position of the store feeding this load (-1 if none)."""
+        if self._memory_deps is None:
+            self._compute_deps()
+        assert self._memory_deps is not None
+        return self._memory_deps
+
+    # ------------------------------------------------------------------
+    # Register state reconstruction (for live-in values).
+    # ------------------------------------------------------------------
+
+    def value_of_register_at(self, reg: int, pos: int):
+        """Architectural value of ``reg`` just before position ``pos``.
+
+        Backed by the per-register write index, so it is cheap enough for
+        the value predictors' spawn-time base values.
+        """
+        if reg == 0:
+            return 0
+        positions, values = self.register_writes.get(reg, ((), ()))
+        i = bisect.bisect_left(positions, pos)
+        if i == 0:
+            return 0
+        return values[i - 1]
+
+    @property
+    def register_writes(self) -> Dict[int, Tuple[List[int], List]]:
+        """Per register: (sorted write positions, written values)."""
+        if getattr(self, "_register_writes", None) is None:
+            writes: Dict[int, Tuple[List[int], List]] = {}
+            for pos, inst in enumerate(self.insts):
+                if inst.dst is not None and inst.dst != 0:
+                    entry = writes.setdefault(inst.dst, ([], []))
+                    entry[0].append(pos)
+                    entry[1].append(inst.dst_value)
+            self._register_writes = writes
+        return self._register_writes

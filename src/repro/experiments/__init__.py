@@ -1,0 +1,28 @@
+"""Experiment drivers: one function per figure of the paper's evaluation.
+
+:mod:`repro.experiments.framework` provides the cached building blocks
+(traces, pair sets, baseline cycles) and :mod:`repro.experiments.figures`
+the per-figure sweeps.  Each figure function returns a
+:class:`~repro.experiments.framework.FigureResult` that renders to the same
+rows/series the paper plots.
+"""
+
+from repro.experiments.framework import (
+    EXPERIMENT_CONFIG,
+    EXPERIMENT_PROFILE_CONFIG,
+    FigureResult,
+    baseline_cycles,
+    pair_set_for,
+    run_policy,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "EXPERIMENT_CONFIG",
+    "EXPERIMENT_PROFILE_CONFIG",
+    "FigureResult",
+    "baseline_cycles",
+    "pair_set_for",
+    "run_policy",
+    "figures",
+]

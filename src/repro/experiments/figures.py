@@ -1,0 +1,534 @@
+"""Reproduction drivers for every figure in the paper's evaluation.
+
+Each ``figureN`` function sweeps the same parameters as the paper's plot
+and returns a :class:`FigureResult` whose series correspond to the bar
+groups of the original figure.  Paper-quoted aggregates are attached as
+``paper_reference`` so EXPERIMENTS.md can show paper-vs-measured side by
+side.
+
+All functions take ``scale`` (workload size multiplier) so the benchmark
+harness can run reduced sweeps.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List
+
+from repro.cmt import ProcessorConfig
+from repro.cmt.stats import SimulationStats
+from repro.experiments.framework import (
+    EXPERIMENT_CONFIG,
+    FigureResult,
+    baseline_cycles,
+    pair_set_for,
+    run_policy,
+    suite,
+)
+from repro.metrics import arithmetic_mean, harmonic_mean
+
+
+@functools.lru_cache(maxsize=4096)
+def cached_run(
+    name: str,
+    policy: str,
+    config: ProcessorConfig,
+    scale: float = 1.0,
+) -> SimulationStats:
+    """Memoised simulation (figures share many configurations)."""
+    return run_policy(name, policy, config, scale)
+
+
+def _speedups(
+    policy: str, config: ProcessorConfig, scale: float
+) -> List[float]:
+    result = []
+    for name in suite():
+        stats = cached_run(name, policy, config, scale)
+        result.append(baseline_cycles(name, config, scale) / stats.cycles)
+    return result
+
+
+def _removal(name: str, cycles: int = 50) -> int:
+    """Per-benchmark alone-threshold: the paper uses 200 for compress
+    (its ~30 selected pairs disappear under the aggressive setting)."""
+    return 200 if name == "compress" else cycles
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — candidate and selected spawning pairs.
+# ----------------------------------------------------------------------
+
+def figure2(scale: float = 1.0) -> FigureResult:
+    totals, selected = [], []
+    for name in suite():
+        pairs = pair_set_for(name, "profile", scale)
+        totals.append(float(pairs.candidates_evaluated))
+        selected.append(float(len(pairs)))
+    return FigureResult(
+        figure="Figure 2",
+        title="Spawning pairs passing thresholds vs distinct spawning points",
+        benchmarks=list(suite()),
+        series={"total_pairs": totals, "selected_pairs": selected},
+        summary={
+            "amean_total": arithmetic_mean(totals),
+            "amean_selected": arithmetic_mean(selected),
+        },
+        paper_reference={"amean_total": 6218, "amean_selected": 499},
+        notes=(
+            "absolute counts scale with static program size; the synthetic "
+            "workloads are ~100x smaller than SpecInt95 binaries, so shapes "
+            "(which benchmarks have many/few pairs) are the comparison point"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 / Figure 4 — potential of the profile-based policy.
+# ----------------------------------------------------------------------
+
+def figure3(scale: float = 1.0) -> FigureResult:
+    config = EXPERIMENT_CONFIG
+    values = _speedups("profile", config, scale)
+    return FigureResult(
+        figure="Figure 3",
+        title="Speed-up over single-thread: 16 TUs, profile policy, perfect VP",
+        benchmarks=list(suite()),
+        series={"speedup": values},
+        summary={"hmean": harmonic_mean(values)},
+        paper_reference={"hmean": 7.2},
+    )
+
+
+def figure4(scale: float = 1.0) -> FigureResult:
+    config = EXPERIMENT_CONFIG
+    values = [
+        cached_run(name, "profile", config, scale).avg_active_threads
+        for name in suite()
+    ]
+    return FigureResult(
+        figure="Figure 4",
+        title="Average number of active threads (16 TUs, perfect VP)",
+        benchmarks=list(suite()),
+        series={"active_threads": values},
+        summary={"amean": arithmetic_mean(values)},
+        paper_reference={"amean": 7.5},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — spawning-pair removal policies.
+# ----------------------------------------------------------------------
+
+def figure5a(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for label, cycles in (("no_removal", None), ("removal_50", 50), ("removal_200", 200)):
+        values = []
+        for name in suite():
+            config = EXPERIMENT_CONFIG.with_(removal_cycles=cycles)
+            stats = cached_run(name, "profile", config, scale)
+            values.append(baseline_cycles(name, config, scale) / stats.cycles)
+        series[label] = values
+    return FigureResult(
+        figure="Figure 5a",
+        title="Pair removal after N cycles executing alone (perfect VP)",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        paper_reference={"removal_200": 8.0},
+        notes="paper: compress collapses under the aggressive 50-cycle removal",
+    )
+
+
+def figure5b(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for occurrences in (1, 8, 16):
+        values = []
+        for name in suite():
+            config = EXPERIMENT_CONFIG.with_(
+                removal_cycles=50, removal_occurrences=occurrences
+            )
+            stats = cached_run(name, "profile", config, scale)
+            values.append(baseline_cycles(name, config, scale) / stats.cycles)
+        series[f"occurrences_{occurrences}"] = values
+    return FigureResult(
+        figure="Figure 5b",
+        title="Delayed removal: occurrences before cancelling (50-cycle scheme)",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        notes="paper: delaying helps compress, slightly hurts the rest",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — reassign policy.
+# ----------------------------------------------------------------------
+
+def figure6(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {"removal_50": [], "reassign": []}
+    for name in suite():
+        for label, reassign in (("removal_50", False), ("reassign", True)):
+            config = EXPERIMENT_CONFIG.with_(
+                removal_cycles=_removal(name), reassign=reassign
+            )
+            stats = cached_run(name, "profile", config, scale)
+            series[label].append(
+                baseline_cycles(name, config, scale) / stats.cycles
+            )
+    return FigureResult(
+        figure="Figure 6",
+        title="Reassigning an SP to its next CQIP vs plain 50-cycle removal",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        notes="paper: reassign is slightly worse (next CQIPs are too close)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — thread sizes and the minimum-size constraint.
+# ----------------------------------------------------------------------
+
+def figure7a(scale: float = 1.0) -> FigureResult:
+    values = []
+    for name in suite():
+        config = EXPERIMENT_CONFIG.with_(removal_cycles=_removal(name))
+        values.append(cached_run(name, "profile", config, scale).avg_thread_size)
+    return FigureResult(
+        figure="Figure 7a",
+        title="Average dynamic thread size (removal policy active)",
+        benchmarks=list(suite()),
+        series={"thread_size": values},
+        summary={"amean": arithmetic_mean(values)},
+        notes="paper: mostly below the 32-instruction selection minimum "
+        "because overlapping spawns shrink threads",
+    )
+
+
+def figure7b(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {"no_min_size": [], "min_size_32": []}
+    for name in suite():
+        for label, min_size in (("no_min_size", None), ("min_size_32", 32)):
+            config = EXPERIMENT_CONFIG.with_(
+                removal_cycles=_removal(name), min_thread_size=min_size
+            )
+            stats = cached_run(name, "profile", config, scale)
+            series[label].append(
+                baseline_cycles(name, config, scale) / stats.cycles
+            )
+    return FigureResult(
+        figure="Figure 7b",
+        title="Enforcing a minimum dynamic thread size of 32",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        notes="paper: ~10% over the plain removal policy",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — profile-based vs traditional heuristics.
+# ----------------------------------------------------------------------
+
+def figure8(scale: float = 1.0) -> FigureResult:
+    config = EXPERIMENT_CONFIG
+    ratios = []
+    for name in suite():
+        profile = cached_run(name, "profile", config, scale)
+        heur = cached_run(name, "heuristics", config, scale)
+        ratios.append(heur.cycles / profile.cycles)
+    return FigureResult(
+        figure="Figure 8",
+        title="Speed-up of the profile policy over combined heuristics",
+        benchmarks=list(suite()),
+        series={"profile_over_heuristics": ratios},
+        summary={"hmean": harmonic_mean(ratios)},
+        paper_reference={"hmean": 1.20},
+        notes="paper: ~20% average win; perl shows a slight (8%) slow-down",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — realistic value predictors.
+# ----------------------------------------------------------------------
+
+def figure9a(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for vp in ("stride", "fcm"):
+        for policy in ("profile", "heuristics"):
+            label = f"{vp}_{policy}"
+            values = []
+            for name in suite():
+                config = EXPERIMENT_CONFIG.with_(value_predictor=vp)
+                values.append(
+                    cached_run(name, policy, config, scale).value_hit_rate
+                )
+            series[label] = values
+    return FigureResult(
+        figure="Figure 9a",
+        title="Live-in value-prediction hit ratio (16KB predictors)",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: arithmetic_mean(v) for k, v in series.items()},
+        paper_reference={"stride_profile": 0.70},
+        notes="paper: ~70% across predictors and policies",
+    )
+
+
+def figure9b(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for label, policy, vp in (
+        ("perfect_profile", "profile", "perfect"),
+        ("stride_profile", "profile", "stride"),
+        ("perfect_heur", "heuristics", "perfect"),
+        ("stride_heur", "heuristics", "stride"),
+    ):
+        config = EXPERIMENT_CONFIG.with_(value_predictor=vp)
+        series[label] = _speedups(policy, config, scale)
+    return FigureResult(
+        figure="Figure 9b",
+        title="Speed-ups with the stride value predictor",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        paper_reference={"stride_profile": 6.0, "stride_heur": 5.5},
+        notes="paper: realistic prediction costs both policies >25%; the "
+        "profile advantage narrows to ~13%",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — alternative CQIP-ordering criteria.
+# ----------------------------------------------------------------------
+
+def figure10a(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for vp in ("stride", "fcm"):
+        for policy in ("profile-independent", "profile-predictable"):
+            label = f"{vp}_{policy.split('-')[1]}"
+            values = []
+            for name in suite():
+                config = EXPERIMENT_CONFIG.with_(value_predictor=vp)
+                values.append(
+                    cached_run(name, policy, config, scale).value_hit_rate
+                )
+            series[label] = values
+    return FigureResult(
+        figure="Figure 10a",
+        title="Hit ratio under independent/predictable CQIP ordering",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: arithmetic_mean(v) for k, v in series.items()},
+        paper_reference={"stride_predictable": 0.75},
+    )
+
+
+def figure10b(scale: float = 1.0) -> FigureResult:
+    config = EXPERIMENT_CONFIG.with_(value_predictor="stride")
+    series = {
+        "independent": _speedups("profile-independent", config, scale),
+        "predictable": _speedups("profile-predictable", config, scale),
+        "distance": _speedups("profile", config, scale),
+    }
+    return FigureResult(
+        figure="Figure 10b",
+        title="Speed-up of the independent/predictable ordering (stride VP)",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        notes="paper: both ~35% below the distance criterion — better hit "
+        "ratios do not pay for the smaller threads",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — thread-initialisation overhead.
+# ----------------------------------------------------------------------
+
+def figure11(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {"profile": [], "heuristics": []}
+    for policy in ("profile", "heuristics"):
+        for name in suite():
+            fast = cached_run(
+                name,
+                policy,
+                EXPERIMENT_CONFIG.with_(value_predictor="stride"),
+                scale,
+            )
+            slow = cached_run(
+                name,
+                policy,
+                EXPERIMENT_CONFIG.with_(value_predictor="stride", init_overhead=8),
+                scale,
+            )
+            series[policy].append(fast.cycles / slow.cycles)
+    return FigureResult(
+        figure="Figure 11",
+        title="Slow-down from an 8-cycle thread-initialisation overhead",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        paper_reference={"profile": 0.88, "heuristics": 0.88},
+        notes="paper: ~12% average slow-down for both policies",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — scalability: 4 thread units.
+# ----------------------------------------------------------------------
+
+def figure12(scale: float = 1.0) -> FigureResult:
+    series: Dict[str, List[float]] = {}
+    for label, vp, overhead in (
+        ("perfect", "perfect", 0),
+        ("stride", "stride", 0),
+        ("stride_overhead", "stride", 8),
+    ):
+        for policy in ("profile", "heuristics"):
+            config = EXPERIMENT_CONFIG.with_(
+                num_thread_units=4, value_predictor=vp, init_overhead=overhead
+            )
+            series[f"{label}_{policy}"] = _speedups(policy, config, scale)
+    return FigureResult(
+        figure="Figure 12",
+        title="Average speed-ups with 4 thread units",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        paper_reference={
+            "perfect_profile": 2.75,
+            "stride_profile": 2.1,
+            "stride_overhead_profile": 1.9,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension: individual-heuristic breakdown (the comparison of [15] that
+# Section 4.2.1 builds on — not a numbered figure of this paper).
+# ----------------------------------------------------------------------
+
+def heuristic_breakdown(scale: float = 1.0) -> FigureResult:
+    """Speed-up of each traditional scheme alone vs their combination.
+
+    The paper cites its earlier study [15] for the observation that loop
+    iterations are the strongest individual scheme on this architecture
+    and that the best policy combines all three; this driver reproduces
+    that supporting comparison.
+    """
+    from repro.cmt import simulate
+    from repro.spawning import HeuristicConfig, heuristic_pairs
+    from repro.workloads import load_trace
+
+    variants = {
+        "loop_iter": HeuristicConfig(
+            include_loop_continuations=False,
+            include_subroutine_continuations=False,
+        ),
+        "loop_cont": HeuristicConfig(
+            include_loop_iterations=False,
+            include_subroutine_continuations=False,
+        ),
+        "sub_cont": HeuristicConfig(
+            include_loop_iterations=False,
+            include_loop_continuations=False,
+        ),
+        "combined": HeuristicConfig(),
+    }
+    config = EXPERIMENT_CONFIG
+    series: Dict[str, List[float]] = {name: [] for name in variants}
+    for bench in suite():
+        trace = load_trace(bench, scale)
+        base = baseline_cycles(bench, config, scale)
+        for name, hconfig in variants.items():
+            stats = simulate(trace, heuristic_pairs(trace, hconfig), config)
+            series[name].append(base / stats.cycles)
+    return FigureResult(
+        figure="Extension",
+        title="Individual heuristic schemes vs their combination ([15])",
+        benchmarks=list(suite()),
+        series=series,
+        summary={k: harmonic_mean(v) for k, v in series.items()},
+        notes="[15]: loop iterations are the strongest single scheme on "
+        "the CSMT; the combination is the baseline of Figure 8",
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension: profile-input sensitivity.  The paper profiles and evaluates
+# on the training input; this driver checks that pairs selected on one
+# input transfer to a different one (program text identical, data fresh).
+# ----------------------------------------------------------------------
+
+def profile_input_sensitivity(scale: float = 1.0) -> FigureResult:
+    """Speed-up on a *ref* input using pairs profiled on *train*.
+
+    ``self_profiled`` selects pairs on the evaluation input itself (the
+    paper's setup); ``cross_profiled`` selects them on the training input.
+    A transfer ratio near 1 means the profile generalises across inputs.
+    """
+    from repro.cmt import simulate, single_thread_cycles
+    from repro.spawning import select_profile_pairs
+    from repro.workloads import load_trace
+
+    config = EXPERIMENT_CONFIG
+    series: Dict[str, List[float]] = {"self_profiled": [], "cross_profiled": []}
+    for bench in suite():
+        ref_trace = load_trace(bench, scale, "ref")
+        train_trace = load_trace(bench, scale, "train")
+        base = single_thread_cycles(ref_trace, config)
+        from repro.experiments.framework import EXPERIMENT_PROFILE_CONFIG
+
+        self_pairs = select_profile_pairs(ref_trace, EXPERIMENT_PROFILE_CONFIG)
+        cross_pairs = select_profile_pairs(train_trace, EXPERIMENT_PROFILE_CONFIG)
+        series["self_profiled"].append(
+            base / simulate(ref_trace, self_pairs, config).cycles
+        )
+        series["cross_profiled"].append(
+            base / simulate(ref_trace, cross_pairs, config).cycles
+        )
+    transfer = [
+        c / s
+        for s, c in zip(series["self_profiled"], series["cross_profiled"])
+    ]
+    return FigureResult(
+        figure="Extension",
+        title="Profile-input sensitivity: train-profiled pairs on a ref input",
+        benchmarks=list(suite()),
+        series=series,
+        summary={
+            "self_hmean": harmonic_mean(series["self_profiled"]),
+            "cross_hmean": harmonic_mean(series["cross_profiled"]),
+            "transfer": harmonic_mean(transfer),
+        },
+        notes="spawning points are pcs, so a profile transfers as long as "
+        "the hot control structure is input-stable",
+    )
+
+
+#: All figure drivers by name, for the CLI/bench harness.
+ALL_FIGURES = {
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5a": figure5a,
+    "figure5b": figure5b,
+    "figure6": figure6,
+    "figure7a": figure7a,
+    "figure7b": figure7b,
+    "figure8": figure8,
+    "figure9a": figure9a,
+    "figure9b": figure9b,
+    "figure10a": figure10a,
+    "figure10b": figure10b,
+    "figure11": figure11,
+    "figure12": figure12,
+    "heuristic_breakdown": heuristic_breakdown,
+    "profile_input_sensitivity": profile_input_sensitivity,
+}
+
+
+def run_all(scale: float = 1.0) -> List[FigureResult]:
+    """Regenerate every figure (used by the EXPERIMENTS.md generator)."""
+    return [fn(scale) for fn in ALL_FIGURES.values()]

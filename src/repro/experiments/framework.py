@@ -1,0 +1,159 @@
+"""Shared experiment infrastructure: cached runs and result rendering.
+
+Every figure driver builds on three cached primitives so that sweeps over
+many configurations do not repeat work:
+
+- ``trace_for(name, scale)`` — the workload's dynamic trace;
+- ``pair_set_for(name, policy, scale)`` — spawning pairs under a policy;
+- ``baseline_cycles(name, config, scale)`` — the single-threaded run.
+
+Experiment-wide defaults live here too.  Two deliberate deviations from
+the paper's raw parameters (documented in DESIGN.md/EXPERIMENTS.md):
+the profile pass uses 99% CFG coverage and a 4096-instruction distance cap
+because our synthetic traces lack SpecInt's cold-code tail, so the paper's
+90%/unbounded settings would discard structurally important outer loops.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cmt import ProcessorConfig, simulate
+from repro.cmt.stats import SimulationStats
+from repro.exec.trace import Trace
+from repro.spawning import (
+    HeuristicConfig,
+    ProfilePolicyConfig,
+    SpawnPairSet,
+    heuristic_pairs,
+    select_profile_pairs,
+)
+from repro.workloads import load_trace, workload_names
+
+#: Baseline processor configuration for every experiment (Section 4.1).
+EXPERIMENT_CONFIG = ProcessorConfig()
+
+#: Profile-policy selection parameters used by the figures.
+EXPERIMENT_PROFILE_CONFIG = ProfilePolicyConfig(
+    coverage=0.99, max_distance=4096
+)
+
+#: Policy name -> pair-set builder.
+_POLICIES: Dict[str, Callable[[Trace], SpawnPairSet]] = {
+    "profile": lambda trace: select_profile_pairs(
+        trace, EXPERIMENT_PROFILE_CONFIG
+    ),
+    "profile-independent": lambda trace: select_profile_pairs(
+        trace,
+        ProfilePolicyConfig(
+            coverage=EXPERIMENT_PROFILE_CONFIG.coverage,
+            max_distance=EXPERIMENT_PROFILE_CONFIG.max_distance,
+            ordering="independent",
+        ),
+    ),
+    "profile-predictable": lambda trace: select_profile_pairs(
+        trace,
+        ProfilePolicyConfig(
+            coverage=EXPERIMENT_PROFILE_CONFIG.coverage,
+            max_distance=EXPERIMENT_PROFILE_CONFIG.max_distance,
+            ordering="predictable",
+        ),
+    ),
+    "heuristics": lambda trace: heuristic_pairs(trace, HeuristicConfig()),
+}
+
+
+def policy_names() -> List[str]:
+    return list(_POLICIES)
+
+
+@functools.lru_cache(maxsize=128)
+def pair_set_for(name: str, policy: str = "profile", scale: float = 1.0) -> SpawnPairSet:
+    """Cached spawning-pair selection for a workload under a policy."""
+    try:
+        builder = _POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {policy!r}; choose from {policy_names()}"
+        ) from None
+    return builder(load_trace(name, scale))
+
+
+@functools.lru_cache(maxsize=256)
+def baseline_cycles(
+    name: str, config: Optional[ProcessorConfig] = None, scale: float = 1.0
+) -> int:
+    """Cached single-threaded cycles for a workload."""
+    config = (config or EXPERIMENT_CONFIG).single_threaded()
+    return simulate(load_trace(name, scale), SpawnPairSet([]), config).cycles
+
+
+def run_policy(
+    name: str,
+    policy: str = "profile",
+    config: Optional[ProcessorConfig] = None,
+    scale: float = 1.0,
+) -> SimulationStats:
+    """Simulate one workload under a policy and configuration."""
+    config = config or EXPERIMENT_CONFIG
+    return simulate(load_trace(name, scale), pair_set_for(name, policy, scale), config)
+
+
+def speedup(
+    name: str,
+    policy: str = "profile",
+    config: Optional[ProcessorConfig] = None,
+    scale: float = 1.0,
+) -> float:
+    """Speed-up over the single-threaded execution."""
+    config = config or EXPERIMENT_CONFIG
+    stats = run_policy(name, policy, config, scale)
+    return baseline_cycles(name, config, scale) / stats.cycles
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: per-benchmark series plus summary rows.
+
+    ``series`` maps a series label (bar group in the paper's plot) to a
+    list of values aligned with ``benchmarks``; ``summary`` holds the
+    aggregate the paper quotes (Hmean/Amean), and ``paper_reference`` the
+    corresponding number from the paper when it states one.
+    """
+
+    figure: str
+    title: str
+    benchmarks: List[str]
+    series: Dict[str, List[float]]
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper_reference: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, width: int = 9, precision: int = 2) -> str:
+        """ASCII table matching the paper's bar-chart layout."""
+        lines = [f"{self.figure}: {self.title}"]
+        header = f"{'benchmark':>12} " + " ".join(
+            f"{label:>{width}}" for label in self.series
+        )
+        lines.append(header)
+        for i, bench in enumerate(self.benchmarks):
+            row = f"{bench:>12} " + " ".join(
+                f"{values[i]:>{width}.{precision}f}"
+                for values in self.series.values()
+            )
+            lines.append(row)
+        for label, value in self.summary.items():
+            ref = self.paper_reference.get(label)
+            suffix = f"   (paper: {ref})" if ref is not None else ""
+            lines.append(f"{label:>12} {value:>{width}.{precision}f}{suffix}")
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def suite(scale: float = 1.0) -> Sequence[str]:
+    """Benchmarks in presentation order (the paper's order)."""
+    del scale
+    return workload_names()

@@ -1,0 +1,38 @@
+"""RISC-like instruction set used by the synthetic workloads.
+
+The ISA is deliberately small: enough to express the control/data behaviour
+of the SpecInt95-analogue workloads (loops, calls, pointer chasing, hash
+tables, FP kernels) while keeping functional execution fast.  Instructions
+are fixed-size, one word each; the program counter is the instruction index.
+"""
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    FU_LATENCY,
+    FuClass,
+    Instruction,
+    Opcode,
+    fu_class,
+    is_branch_op,
+    is_control_op,
+    latency_of,
+)
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "FuClass",
+    "FU_LATENCY",
+    "BRANCH_OPS",
+    "fu_class",
+    "latency_of",
+    "is_branch_op",
+    "is_control_op",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+]

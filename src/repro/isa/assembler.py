@@ -1,0 +1,153 @@
+"""Tiny textual assembler/disassembler for the ISA.
+
+The assembler exists for tests, examples and debugging — the workload suite
+builds programs through :class:`~repro.isa.builder.ProgramBuilder` instead.
+
+Syntax::
+
+    ; comment
+    main:
+        li   r1 0
+    loop:
+        addi r1 r1 1
+        blt  r1 r2 loop
+        halt
+
+Registers are ``r0``–``r63``; bare integers are immediates/offsets;
+identifiers in control instructions are labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+#: Opcodes whose first register operand is the destination.
+_WRITES_DST = frozenset(
+    op
+    for op in Opcode
+    if op
+    not in (
+        Opcode.STORE,
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BEQZ,
+        Opcode.BNEZ,
+        Opcode.JUMP,
+        Opcode.CALL,
+        Opcode.RET,
+        Opcode.NOP,
+        Opcode.HALT,
+    )
+)
+
+_OP_BY_NAME = {op.value: op for op in Opcode}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def _parse_operand(token: str) -> Tuple[str, object]:
+    if token.startswith("r") and token[1:].isdigit():
+        return "reg", int(token[1:])
+    try:
+        return "imm", int(token, 0)
+    except ValueError:
+        return "label", token
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a validated :class:`Program`."""
+    pending: List[Tuple[Opcode, List[Tuple[str, object]], int]] = []
+    labels: Dict[str, int] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            head, _, rest = line.partition(":")
+            labelname = head.strip()
+            if not labelname.replace(".", "_").isidentifier():
+                raise AssemblerError(f"line {lineno}: bad label {labelname!r}")
+            if labelname in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {labelname!r}")
+            labels[labelname] = len(pending)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        tokens = line.split()
+        opname = tokens[0].lower()
+        if opname not in _OP_BY_NAME:
+            raise AssemblerError(f"line {lineno}: unknown opcode {opname!r}")
+        operands = [_parse_operand(tok) for tok in tokens[1:]]
+        pending.append((_OP_BY_NAME[opname], operands, lineno))
+
+    instructions: List[Instruction] = []
+    fixups: List[Tuple[int, str, int]] = []
+    for pc, (op, operands, lineno) in enumerate(pending):
+        dst: Optional[int] = None
+        srcs: List[int] = []
+        imm: Optional[int] = None
+        labelref: Optional[str] = None
+        for kind, value in operands:
+            if kind == "reg":
+                if dst is None and op in _WRITES_DST:
+                    dst = int(value)  # type: ignore[arg-type]
+                else:
+                    srcs.append(int(value))  # type: ignore[arg-type]
+            elif kind == "imm":
+                if imm is not None:
+                    raise AssemblerError(f"line {lineno}: multiple immediates")
+                imm = int(value)  # type: ignore[arg-type]
+            else:
+                if labelref is not None:
+                    raise AssemblerError(f"line {lineno}: multiple labels")
+                labelref = str(value)
+        instructions.append(Instruction(op, dst=dst, srcs=tuple(srcs), imm=imm))
+        if labelref is not None:
+            fixups.append((pc, labelref, lineno))
+
+    for pc, labelref, lineno in fixups:
+        if labelref not in labels:
+            raise AssemblerError(f"line {lineno}: undefined label {labelref!r}")
+        old = instructions[pc]
+        instructions[pc] = Instruction(
+            old.op, dst=old.dst, srcs=old.srcs, imm=old.imm, target=labels[labelref]
+        )
+
+    program = Program(instructions=instructions, labels=labels, name=name)
+    program.validate()
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` back to assembly text that re-assembles identically."""
+    label_of: Dict[int, str] = {}
+    for labelname, pc in program.labels.items():
+        label_of.setdefault(pc, labelname)
+    for pc, inst in enumerate(program.instructions):
+        if inst.target is not None and inst.target not in label_of:
+            label_of[inst.target] = f"L{inst.target}"
+
+    lines: List[str] = []
+    for pc, inst in enumerate(program.instructions):
+        if pc in label_of:
+            lines.append(f"{label_of[pc]}:")
+        parts = [inst.op.value]
+        if inst.dst is not None:
+            parts.append(f"r{inst.dst}")
+        parts.extend(f"r{s}" for s in inst.srcs)
+        if inst.imm is not None:
+            parts.append(str(inst.imm))
+        if inst.target is not None:
+            parts.append(label_of[inst.target])
+        lines.append("    " + " ".join(parts))
+    return "\n".join(lines) + "\n"

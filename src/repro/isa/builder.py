@@ -1,0 +1,338 @@
+"""Structured program construction.
+
+``ProgramBuilder`` lets the workload generators write programs with named
+registers, loops, conditionals, subroutines and static data without managing
+raw pcs.  Loops lower to the canonical shape the heuristic spawning policies
+expect (a backward branch whose target is the loop head), matching what an
+optimizing compiler emits for ``for``/``while`` loops.
+
+Example::
+
+    b = ProgramBuilder("demo")
+    i, acc = b.reg("i"), b.reg("acc")
+    b.li(acc, 0)
+    with b.for_range(i, 0, 100):
+        b.add(acc, acc, i)
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+#: Calling convention: argument and return-value registers.
+ARG_REGS = (56, 57, 58, 59)
+RV_REG = 60
+
+#: General-purpose allocation pool (r0 is hardwired zero).
+_FIRST_ALLOC = 1
+_LAST_ALLOC = 55
+
+_NEGATION = {
+    Opcode.BEQ: Opcode.BNE,
+    Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE,
+    Opcode.BGE: Opcode.BLT,
+    Opcode.BEQZ: Opcode.BNEZ,
+    Opcode.BNEZ: Opcode.BEQZ,
+}
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instructions: List[Tuple[Instruction, Optional[str]]] = []
+        self._labels: Dict[str, int] = {}
+        self._named_regs: Dict[str, int] = {}
+        self._next_reg = _FIRST_ALLOC
+        self._next_label = 0
+        self._next_addr = 0x1000
+        self._initial_memory: Dict[int, int] = {}
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Registers and data.
+    # ------------------------------------------------------------------
+
+    def reg(self, regname: str) -> int:
+        """Return a stable register for ``regname``, allocating on first use."""
+        if regname not in self._named_regs:
+            self._named_regs[regname] = self._alloc_reg()
+        return self._named_regs[regname]
+
+    def temp(self) -> int:
+        """Allocate a fresh anonymous register."""
+        return self._alloc_reg()
+
+    def _alloc_reg(self) -> int:
+        if self._next_reg > _LAST_ALLOC:
+            raise RuntimeError("register pool exhausted; reuse named registers")
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def alloc(self, size: int) -> int:
+        """Reserve ``size`` words of data memory; returns the base address."""
+        base = self._next_addr
+        self._next_addr += size
+        return base
+
+    def data(self, base: int, values) -> int:
+        """Initialise memory at ``base`` with ``values``; returns ``base``."""
+        for offset, value in enumerate(values):
+            self._initial_memory[base + offset] = value
+        return base
+
+    def alloc_data(self, values) -> int:
+        """Allocate and initialise a data region in one step."""
+        values = list(values)
+        return self.data(self.alloc(len(values)), values)
+
+    # ------------------------------------------------------------------
+    # Raw emission.
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        op: Opcode,
+        dst: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        imm: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> int:
+        """Append an instruction; ``label`` is a target resolved at build."""
+        self._instructions.append(
+            (Instruction(op, dst=dst, srcs=srcs, imm=imm), label)
+        )
+        return len(self._instructions) - 1
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Bind ``name`` (or a fresh one) to the next pc."""
+        if name is None:
+            name = f".L{self._next_label}"
+            self._next_label += 1
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def here(self) -> int:
+        """pc of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # ALU / memory convenience emitters.
+    # ------------------------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> None:
+        self.emit(Opcode.LI, dst=rd, imm=imm)
+
+    def mov(self, rd: int, rs: int) -> None:
+        self.emit(Opcode.MOV, dst=rd, srcs=(rs,))
+
+    def add(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.ADD, dst=rd, srcs=(ra, rb))
+
+    def sub(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.SUB, dst=rd, srcs=(ra, rb))
+
+    def mul(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.MUL, dst=rd, srcs=(ra, rb))
+
+    def div(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.DIV, dst=rd, srcs=(ra, rb))
+
+    def rem(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.REM, dst=rd, srcs=(ra, rb))
+
+    def and_(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.AND, dst=rd, srcs=(ra, rb))
+
+    def or_(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.OR, dst=rd, srcs=(ra, rb))
+
+    def xor(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.XOR, dst=rd, srcs=(ra, rb))
+
+    def slt(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.SLT, dst=rd, srcs=(ra, rb))
+
+    def addi(self, rd: int, rs: int, imm: int) -> None:
+        self.emit(Opcode.ADDI, dst=rd, srcs=(rs,), imm=imm)
+
+    def andi(self, rd: int, rs: int, imm: int) -> None:
+        self.emit(Opcode.ANDI, dst=rd, srcs=(rs,), imm=imm)
+
+    def xori(self, rd: int, rs: int, imm: int) -> None:
+        self.emit(Opcode.XORI, dst=rd, srcs=(rs,), imm=imm)
+
+    def shli(self, rd: int, rs: int, imm: int) -> None:
+        self.emit(Opcode.SHLI, dst=rd, srcs=(rs,), imm=imm)
+
+    def shri(self, rd: int, rs: int, imm: int) -> None:
+        self.emit(Opcode.SHRI, dst=rd, srcs=(rs,), imm=imm)
+
+    def fadd(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.FADD, dst=rd, srcs=(ra, rb))
+
+    def fsub(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.FSUB, dst=rd, srcs=(ra, rb))
+
+    def fmul(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.FMUL, dst=rd, srcs=(ra, rb))
+
+    def fdiv(self, rd: int, ra: int, rb: int) -> None:
+        self.emit(Opcode.FDIV, dst=rd, srcs=(ra, rb))
+
+    def fcvt(self, rd: int, rs: int) -> None:
+        self.emit(Opcode.FCVT, dst=rd, srcs=(rs,))
+
+    def load(self, rd: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.LOAD, dst=rd, srcs=(base,), imm=offset)
+
+    def store(self, rs: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.STORE, srcs=(rs, base), imm=offset)
+
+    def nop(self) -> None:
+        self.emit(Opcode.NOP)
+
+    def halt(self) -> None:
+        self.emit(Opcode.HALT)
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+
+    def branch(self, op: Opcode, srcs: Tuple[int, ...], label: str) -> None:
+        self.emit(op, srcs=srcs, label=label)
+
+    def jump(self, label: str) -> None:
+        self.emit(Opcode.JUMP, label=label)
+
+    def call(self, funcname: str) -> None:
+        self.emit(Opcode.CALL, label=funcname)
+
+    def ret(self) -> None:
+        self.emit(Opcode.RET)
+
+    @contextlib.contextmanager
+    def for_range(
+        self, counter: int, start: int, stop, step: int = 1
+    ) -> Iterator[None]:
+        """Counted loop; ``stop`` is an int bound or a register number string.
+
+        Lowers to the canonical rotated-loop shape: initialisation, a guard
+        for the zero-trip case, the body, an increment and a backward
+        conditional branch to the head.
+        """
+        if isinstance(stop, int):
+            limit = self.temp()
+            self.li(limit, stop)
+        else:
+            limit = stop
+        self.li(counter, start)
+        exit_label = f".Lexit{self._next_label}"
+        self._next_label += 1
+        if step > 0:
+            self.branch(Opcode.BGE, (counter, limit), exit_label)
+        else:
+            self.branch(Opcode.BGE, (limit, counter), exit_label)
+        head = self.label()
+        yield
+        self.addi(counter, counter, step)
+        if step > 0:
+            self.branch(Opcode.BLT, (counter, limit), head)
+        else:
+            self.branch(Opcode.BLT, (limit, counter), head)
+        self.label(exit_label)
+
+    @contextlib.contextmanager
+    def while_(self, op: Opcode, srcs: Tuple[int, ...]) -> Iterator[None]:
+        """Loop while the condition ``op srcs`` holds (tested at the top)."""
+        head = self.label()
+        exit_label = f".Lexit{self._next_label}"
+        self._next_label += 1
+        self.branch(_NEGATION[op], srcs, exit_label)
+        yield
+        self.jump(head)
+        self.label(exit_label)
+
+    @contextlib.contextmanager
+    def if_(self, op: Opcode, srcs: Tuple[int, ...]) -> Iterator[None]:
+        """Execute the body only when condition ``op srcs`` holds."""
+        skip = f".Lskip{self._next_label}"
+        self._next_label += 1
+        self.branch(_NEGATION[op], srcs, skip)
+        yield
+        self.label(skip)
+
+    def if_else(
+        self,
+        op: Opcode,
+        srcs: Tuple[int, ...],
+        then_body: Callable[[], None],
+        else_body: Callable[[], None],
+    ) -> None:
+        """Two-armed conditional built from emit callbacks."""
+        else_label = f".Lelse{self._next_label}"
+        end_label = f".Lend{self._next_label}"
+        self._next_label += 1
+        self.branch(_NEGATION[op], srcs, else_label)
+        then_body()
+        self.jump(end_label)
+        self.label(else_label)
+        else_body()
+        self.label(end_label)
+
+    @contextlib.contextmanager
+    def function(self, funcname: str) -> Iterator[None]:
+        """Define a subroutine; the body must end via :meth:`ret`.
+
+        Functions must be defined after the main code has halted so that
+        execution cannot fall through into them.
+        """
+        if not self._halted:
+            raise RuntimeError(
+                "define functions after halting the main code path"
+            )
+        self.label(funcname)
+        yield
+        last_op = self._instructions[-1][0].op
+        if last_op is not Opcode.RET:
+            self.ret()
+
+    # ------------------------------------------------------------------
+    # Finalisation.
+    # ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        instructions = []
+        for pc, (inst, label) in enumerate(self._instructions):
+            if label is not None:
+                if label not in self._labels:
+                    raise ValueError(f"pc {pc}: undefined label {label!r}")
+                inst = Instruction(
+                    inst.op,
+                    dst=inst.dst,
+                    srcs=inst.srcs,
+                    imm=inst.imm,
+                    target=self._labels[label],
+                )
+            instructions.append(inst)
+        program = Program(
+            instructions=instructions,
+            labels=dict(self._labels),
+            name=self.name,
+            initial_memory=dict(self._initial_memory),
+        )
+        program.validate()
+        return program

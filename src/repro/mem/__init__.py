@@ -1,0 +1,14 @@
+"""Memory hierarchy components: L1 data cache and speculative versioning.
+
+The L1 model supplies load latencies to the thread-unit timing model
+(32KB, 2-way, 32-byte blocks, 3-cycle hit / 8-cycle miss — paper Section
+4.1).  The :class:`SpeculativeVersioningMemory` is the architectural model
+of the Speculative Versioning Cache [7] the paper relies on for inter-
+thread memory dataflow: per-address version chains ordered by thread
+speculation order, with forwarding, violation detection, commit and squash.
+"""
+
+from repro.mem.l1 import L1Cache
+from repro.mem.svc import SpeculativeVersioningMemory, VersioningError
+
+__all__ = ["L1Cache", "SpeculativeVersioningMemory", "VersioningError"]

@@ -1,0 +1,68 @@
+"""Set-associative L1 data-cache timing model."""
+
+from __future__ import annotations
+
+
+class L1Cache:
+    """LRU set-associative cache returning access latencies.
+
+    Addresses are word addresses (one word = 4 bytes); a 32-byte block
+    holds 8 words.  The model tracks tags only — data values come from the
+    trace — and is deliberately small: the timing simulator just needs hit
+    or miss latency per access.
+    """
+
+    def __init__(
+        self,
+        size_kb: int = 32,
+        assoc: int = 2,
+        block_words: int = 8,
+        hit_latency: int = 3,
+        miss_latency: int = 8,
+    ):
+        if size_kb <= 0 or assoc <= 0 or block_words <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        block_bytes = block_words * 4
+        n_blocks = size_kb * 1024 // block_bytes
+        if n_blocks % assoc:
+            raise ValueError("cache size must divide evenly into ways")
+        self.n_sets = n_blocks // assoc
+        self.assoc = assoc
+        self.block_words = block_words
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        # Per set: list of tags in LRU order (front = most recent).
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        block = addr // self.block_words
+        return block % self.n_sets, block // self.n_sets
+
+    def access(self, addr: int, is_store: bool = False) -> int:
+        """Access one word; returns the latency and updates LRU/fill state.
+
+        Stores allocate (write-allocate, write-back) but their latency is
+        hidden by the store buffer, so callers typically ignore it.
+        """
+        self.accesses += 1
+        set_index, tag = self._locate(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return self.hit_latency
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return self.miss_latency
+
+    def contains(self, addr: int) -> bool:
+        set_index, tag = self._locate(addr)
+        return tag in self._sets[set_index]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

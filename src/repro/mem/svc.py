@@ -1,0 +1,169 @@
+"""Speculative Versioning Memory — architectural model of the SVC [7].
+
+Threads are identified by monotonically increasing sequence numbers
+(program order = speculation order).  Each address keeps a version chain;
+a load returns the version written by the nearest thread at or before the
+reader in speculation order, and records the read so that a later store by
+an *older* thread to the same address is flagged as a dependence violation
+(the reader consumed stale data and must squash).
+
+The timing simulator accounts for forwarding/violation latencies directly
+from trace dataflow, but this model is the reference semantics: tests
+assert the simulator's assumptions (loads see the newest older version;
+out-of-order cross-thread store/load pairs violate) against it, and the
+examples use it to demonstrate multi-version behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class VersioningError(RuntimeError):
+    """Raised on protocol misuse (unknown thread, committing out of order)."""
+
+
+@dataclass
+class _Version:
+    thread: int
+    value: object
+
+
+class SpeculativeVersioningMemory:
+    """Multi-version memory with violation detection.
+
+    Typical sequence::
+
+        svc = SpeculativeVersioningMemory()
+        svc.begin_thread(0)             # non-speculative
+        svc.begin_thread(1)             # speculative successor
+        svc.store(0, addr, 10)
+        svc.load(1, addr)               # -> 10 (forwarded from thread 0)
+        violations = svc.store(0, addr2, ...)  # set of violated threads
+        svc.commit(0)                   # in order
+        svc.squash(1)                   # discards thread 1's versions
+    """
+
+    def __init__(self, backing: Optional[Dict[int, object]] = None):
+        self._backing: Dict[int, object] = dict(backing or {})
+        self._versions: Dict[int, List[_Version]] = {}
+        #: addr -> list of (reader thread, version-thread-it-read-from)
+        self._reads: Dict[int, List[Tuple[int, int]]] = {}
+        self._active: Set[int] = set()
+        self._committed_upto = -1
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle.
+    # ------------------------------------------------------------------
+
+    def begin_thread(self, thread: int) -> None:
+        if thread in self._active:
+            raise VersioningError(f"thread {thread} already active")
+        if thread <= self._committed_upto:
+            raise VersioningError(
+                f"thread {thread} precedes the committed prefix"
+            )
+        self._active.add(thread)
+
+    def commit(self, thread: int) -> None:
+        """Commit the oldest active thread, merging its versions."""
+        if thread not in self._active:
+            raise VersioningError(f"thread {thread} is not active")
+        if any(t < thread for t in self._active):
+            raise VersioningError(
+                f"thread {thread} cannot commit before older active threads"
+            )
+        for addr, chain in self._versions.items():
+            for version in chain:
+                if version.thread == thread:
+                    self._backing[addr] = version.value
+        for addr in list(self._versions):
+            self._versions[addr] = [
+                v for v in self._versions[addr] if v.thread != thread
+            ]
+            if not self._versions[addr]:
+                del self._versions[addr]
+        for addr in list(self._reads):
+            self._reads[addr] = [
+                (r, src) for (r, src) in self._reads[addr] if r != thread
+            ]
+            if not self._reads[addr]:
+                del self._reads[addr]
+        self._active.remove(thread)
+        self._committed_upto = thread
+
+    def squash(self, thread: int) -> None:
+        """Discard a speculative thread's versions and read records."""
+        if thread not in self._active:
+            raise VersioningError(f"thread {thread} is not active")
+        for addr in list(self._versions):
+            self._versions[addr] = [
+                v for v in self._versions[addr] if v.thread != thread
+            ]
+            if not self._versions[addr]:
+                del self._versions[addr]
+        for addr in list(self._reads):
+            self._reads[addr] = [
+                (r, src) for (r, src) in self._reads[addr] if r != thread
+            ]
+            if not self._reads[addr]:
+                del self._reads[addr]
+        self._active.remove(thread)
+
+    # ------------------------------------------------------------------
+    # Data access.
+    # ------------------------------------------------------------------
+
+    def load(self, thread: int, addr: int):
+        """Read the newest version at or before ``thread``; records the read."""
+        if thread not in self._active:
+            raise VersioningError(f"thread {thread} is not active")
+        chain = self._versions.get(addr, [])
+        best: Optional[_Version] = None
+        for version in chain:
+            if version.thread <= thread and (
+                best is None or version.thread > best.thread
+            ):
+                best = version
+        source = best.thread if best is not None else -1
+        self._reads.setdefault(addr, []).append((thread, source))
+        if best is not None:
+            return best.value
+        return self._backing.get(addr, 0)
+
+    def store(self, thread: int, addr: int, value) -> Set[int]:
+        """Write a version; returns the set of violated (stale) readers.
+
+        A reader is violated when it is *more speculative* than the writer
+        and the version it consumed predates the writer (it should have
+        seen this store).
+        """
+        if thread not in self._active:
+            raise VersioningError(f"thread {thread} is not active")
+        violated: Set[int] = set()
+        for reader, source in self._reads.get(addr, []):
+            if reader > thread and source < thread:
+                violated.add(reader)
+        chain = self._versions.setdefault(addr, [])
+        for version in chain:
+            if version.thread == thread:
+                version.value = value
+                break
+        else:
+            chain.append(_Version(thread=thread, value=value))
+        return violated
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def architectural_value(self, addr: int):
+        """Committed (non-speculative) value at ``addr``."""
+        return self._backing.get(addr, 0)
+
+    def active_threads(self) -> Set[int]:
+        return set(self._active)
+
+    def version_count(self, addr: int) -> int:
+        return len(self._versions.get(addr, []))

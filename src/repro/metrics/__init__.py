@@ -1,0 +1,5 @@
+"""Aggregation helpers for experiment results."""
+
+from repro.metrics.means import arithmetic_mean, geometric_mean, harmonic_mean
+
+__all__ = ["harmonic_mean", "arithmetic_mean", "geometric_mean"]

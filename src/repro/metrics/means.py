@@ -1,0 +1,37 @@
+"""Mean helpers.
+
+The paper reports speed-ups as harmonic means (Hmean bars) and occupancy /
+size metrics as arithmetic means (Amean bars); we follow suit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+def _as_list(values: Iterable[float]) -> List[float]:
+    result = list(values)
+    if not result:
+        raise ValueError("mean of an empty sequence")
+    return result
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; every value must be positive."""
+    data = _as_list(values)
+    if any(v <= 0 for v in data):
+        raise ValueError("harmonic mean requires positive values")
+    return len(data) / sum(1.0 / v for v in data)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    data = _as_list(values)
+    return sum(data) / len(data)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    data = _as_list(values)
+    if any(v <= 0 for v in data):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))

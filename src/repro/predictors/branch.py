@@ -1,0 +1,72 @@
+"""gshare branch predictor (10-bit, 2-bit saturating counters)."""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """Classic gshare: global history XOR pc indexes 2-bit counters.
+
+    One instance lives in each thread unit; the paper notes the tables are
+    *not* reinitialised when a new thread is assigned to the unit, so the
+    simulator keeps the instance alive across threads.
+    """
+
+    def __init__(self, history_bits: int = 10):
+        if not 1 <= history_bits <= 20:
+            raise ValueError(f"history_bits out of range: {history_bits}")
+        self.history_bits = history_bits
+        self.mask = (1 << history_bits) - 1
+        self.counters = [2] * (1 << history_bits)  # weakly taken
+        self.history = 0
+        self.predictions = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self.counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when the prediction was correct."""
+        index = self._index(pc)
+        predicted = self.counters[index] >= 2
+        if taken:
+            if self.counters[index] < 3:
+                self.counters[index] += 1
+        else:
+            if self.counters[index] > 0:
+                self.counters[index] -= 1
+        self.history = ((self.history << 1) | int(taken)) & self.mask
+        self.predictions += 1
+        correct = predicted == taken
+        if correct:
+            self.hits += 1
+        return correct
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.predictions if self.predictions else 0.0
+
+
+class BimodalPredictor(GsharePredictor):
+    """Per-pc 2-bit counters without global history.
+
+    Provided as an alternative to gshare: on a clustered SpMT the dynamic
+    stream each unit sees is a sequence of short thread fragments, which
+    scrambles a global history register; a history-free table is immune to
+    that fragmentation (see DESIGN.md's modelling notes).
+    """
+
+    def _index(self, pc: int) -> int:
+        return pc & self.mask
+
+
+def make_branch_predictor(name: str, history_bits: int = 10) -> GsharePredictor:
+    """Factory keyed by the names used in processor configs."""
+    if name == "gshare":
+        return GsharePredictor(history_bits)
+    if name == "bimodal":
+        return BimodalPredictor(history_bits)
+    raise ValueError(f"unknown branch predictor {name!r}")

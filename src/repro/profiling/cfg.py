@@ -1,0 +1,124 @@
+"""Dynamic control-flow graph construction from a trace.
+
+Nodes are basic blocks (identified by their leader pc), edges are observed
+control transfers weighted by traversal frequency — exactly the structure
+the paper builds from its profiling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exec.trace import Trace
+
+
+@dataclass
+class BasicBlock:
+    """A dynamic basic block.
+
+    ``size`` is the number of instructions from the leader to the block end
+    (identical across executions because the leader set is global).
+    """
+
+    bid: int
+    start_pc: int
+    size: int
+    count: int = 0
+
+
+class ControlFlowGraph:
+    """Weighted dynamic CFG plus the dynamic block sequence.
+
+    ``sequence`` preserves the profile run as a list of
+    ``(block_id, trace_position)`` pairs; the empirical reaching estimator
+    and the spawning simulator both consume it.
+    """
+
+    def __init__(
+        self,
+        blocks: List[BasicBlock],
+        edges: Dict[Tuple[int, int], int],
+        sequence: List[Tuple[int, int]],
+        total_instructions: int,
+    ):
+        self.blocks = blocks
+        self.edges = edges
+        self.sequence = sequence
+        self.total_instructions = total_instructions
+        self.by_pc: Dict[int, int] = {b.start_pc: b.bid for b in blocks}
+        self.succs: Dict[int, List[int]] = {b.bid: [] for b in blocks}
+        self.preds: Dict[int, List[int]] = {b.bid: [] for b in blocks}
+        for (u, v) in edges:
+            self.succs[u].append(v)
+            self.preds[v].append(u)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block_of_pc(self, pc: int) -> int:
+        """Block id whose leader is ``pc`` (KeyError if not a leader)."""
+        return self.by_pc[pc]
+
+    def out_weight(self, bid: int) -> int:
+        """Total weight of edges leaving ``bid``."""
+        return sum(self.edges[(bid, v)] for v in self.succs[bid])
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ControlFlowGraph":
+        """Build the weighted dynamic CFG of a profile run.
+
+        Leaders are: the first executed pc, every control-transfer target,
+        and every fall-through point after a control instruction.  The
+        dynamic stream is then segmented at leaders and control transfers.
+        """
+        if len(trace) == 0:
+            raise ValueError("cannot build a CFG from an empty trace")
+
+        leaders = {trace[0].pc}
+        for inst in trace:
+            if inst.op.name in ("JUMP", "CALL", "RET") or inst.taken is not None:
+                leaders.add(inst.next_pc)
+                leaders.add(inst.pc + 1)
+
+        blocks: List[BasicBlock] = []
+        by_pc: Dict[int, int] = {}
+        edges: Dict[Tuple[int, int], int] = {}
+        sequence: List[Tuple[int, int]] = []
+
+        pos = 0
+        n = len(trace)
+        prev_block = -1
+        while pos < n:
+            start = pos
+            start_pc = trace[pos].pc
+            # Extend the block until a control transfer or the next leader.
+            while True:
+                inst = trace[pos]
+                pos += 1
+                is_control = (
+                    inst.taken is not None
+                    or inst.op.name in ("JUMP", "CALL", "RET")
+                )
+                if is_control or pos >= n:
+                    break
+                if trace[pos].pc in leaders:
+                    break
+            size = pos - start
+            if start_pc in by_pc:
+                bid = by_pc[start_pc]
+                # A later, shorter instance can appear if a new leader was
+                # discovered mid-block; keep the minimum consistent size.
+                if blocks[bid].size != size:
+                    blocks[bid].size = min(blocks[bid].size, size)
+            else:
+                bid = len(blocks)
+                by_pc[start_pc] = bid
+                blocks.append(BasicBlock(bid=bid, start_pc=start_pc, size=size))
+            blocks[bid].count += 1
+            sequence.append((bid, start))
+            if prev_block >= 0:
+                key = (prev_block, bid)
+                edges[key] = edges.get(key, 0) + 1
+            prev_block = bid
+        return cls(blocks, edges, sequence, total_instructions=n)

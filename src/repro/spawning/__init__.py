@@ -1,0 +1,47 @@
+"""Spawning-pair policies.
+
+A *spawning pair* is (spawning point pc, control quasi-independent point
+pc): reaching the SP fires creation of a speculative thread starting at the
+CQIP.  This package provides:
+
+- :func:`select_profile_pairs` — the paper's profile-based scheme
+  (Section 3.1): reaching-probability and distance thresholds over the
+  pruned dynamic CFG, per-SP CQIP ordering by expected thread size /
+  independence / predictability, plus subroutine return-point pairs.
+- :func:`heuristic_pairs` — the traditional baselines: loop-iteration,
+  loop-continuation and subroutine-continuation spawning, and their
+  combination (the comparison baseline of Figure 8).
+"""
+
+from repro.spawning.pairs import PairKind, SpawnPair, SpawnPairSet
+from repro.spawning.heuristics import (
+    HeuristicConfig,
+    heuristic_pairs,
+    loop_continuation_pairs,
+    loop_iteration_pairs,
+    subroutine_continuation_pairs,
+)
+from repro.spawning.selection import ProfilePolicyConfig, select_profile_pairs
+from repro.spawning.serialization import (
+    load_pair_set,
+    pair_set_from_dict,
+    pair_set_to_dict,
+    save_pair_set,
+)
+
+__all__ = [
+    "save_pair_set",
+    "load_pair_set",
+    "pair_set_to_dict",
+    "pair_set_from_dict",
+    "SpawnPair",
+    "SpawnPairSet",
+    "PairKind",
+    "ProfilePolicyConfig",
+    "select_profile_pairs",
+    "HeuristicConfig",
+    "heuristic_pairs",
+    "loop_iteration_pairs",
+    "loop_continuation_pairs",
+    "subroutine_continuation_pairs",
+]

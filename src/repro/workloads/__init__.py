@@ -1,0 +1,35 @@
+"""Synthetic SpecInt95-analogue workload suite.
+
+The paper evaluates on SpecInt95 (go, m88ksim, gcc, compress, li, ijpeg,
+perl, vortex) compiled for Alpha and traced with ATOM.  Those binaries and
+inputs are not redistributable, so each workload here is a small program in
+our own ISA engineered to mimic the control/data character that drives its
+namesake's behaviour in the paper:
+
+- ``compress``  — serial hash-chained loop (few spawning pairs, fragile
+  under aggressive pair removal, as in the paper's Figure 5a).
+- ``ijpeg``     — regular nested array/FP loops (the most regular program,
+  highest speed-up in Figure 3).
+- ``go``        — branchy board evaluation with data-dependent control.
+- ``m88ksim``   — fetch/decode/dispatch CPU-simulator loop.
+- ``gcc``       — multi-phase pass pipeline over linked IR nodes.
+- ``li``        — recursive list interpreter with pointer chasing.
+- ``perl``      — bytecode interpreter with string and hash-table ops.
+- ``vortex``    — call-heavy object-database transactions.
+"""
+
+from repro.workloads.suite import (
+    SPECINT95,
+    WorkloadSpec,
+    build_workload,
+    load_trace,
+    workload_names,
+)
+
+__all__ = [
+    "SPECINT95",
+    "WorkloadSpec",
+    "build_workload",
+    "load_trace",
+    "workload_names",
+]

@@ -1,0 +1,128 @@
+"""``compress`` analogue: LZW-style serial compression loop.
+
+SpecInt95 ``compress`` is dominated by one tight loop whose iterations are
+chained through the current code word and a shared hash table — almost no
+control variety and strong loop-carried dependences.  The paper notes it
+yields very few spawning pairs (~30) and collapses when the 50-cycle pair
+removal is applied.  This analogue reproduces that structure: a single
+dominant loop, a serial ``code`` chain, hash-table probes with collisions.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import dataset_seed, pseudo_random_words, scaled
+
+_TABLE_SIZE = 256
+_HASH_MASK = _TABLE_SIZE - 1
+
+
+def build_compress(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the compress analogue; ``scale`` multiplies the input length."""
+    n_input = scaled(2200, scale)
+    b = ProgramBuilder("compress")
+
+    input_base = b.alloc_data(pseudo_random_words(dataset_seed(0xC0DE, dataset), n_input, 0, 64))
+    table_base = b.alloc(_TABLE_SIZE)
+    codes_base = b.alloc(_TABLE_SIZE)
+    out_base = b.alloc(n_input + 8)
+
+    i = b.reg("i")
+    code = b.reg("code")
+    byte = b.reg("byte")
+    h = b.reg("hash")
+    probe = b.reg("probe")
+    key = b.reg("key")
+    nextcode = b.reg("nextcode")
+    outpos = b.reg("outpos")
+    addr = b.reg("addr")
+    inbase = b.reg("inbase")
+    tbase = b.reg("tbase")
+    cbase = b.reg("cbase")
+    obase = b.reg("obase")
+    t = b.temp()
+
+    b.li(inbase, input_base)
+    b.li(tbase, table_base)
+    b.li(cbase, codes_base)
+    b.li(obase, out_base)
+    b.li(code, 0)
+    b.li(nextcode, 64)
+    b.li(outpos, 0)
+
+    # Clear the hash table (regular init loop — cheap, regular prologue).
+    with b.for_range(t, 0, _TABLE_SIZE):
+        b.add(addr, tbase, t)
+        b.store(0, addr)
+
+    chk = b.reg("chk")
+    b.li(chk, 0)
+    with b.for_range(i, 0, n_input):
+        # byte = input[i]
+        b.add(addr, inbase, i)
+        b.load(byte, addr)
+        # Rolling checksum over the input (serial mixing chain, as the
+        # real compress maintains across its dominant loop).
+        b.shli(t, chk, 1)
+        b.xor(chk, t, byte)
+        b.shri(t, chk, 9)
+        b.xor(chk, chk, t)
+        b.andi(chk, chk, 0xFFFF)
+        # key = code * 64 + byte ; h = two-stage hash mix, masked
+        b.shli(key, code, 6)
+        b.add(key, key, byte)
+        b.shli(h, code, 4)
+        b.xor(h, h, byte)
+        b.shri(t, h, 3)
+        b.xor(h, h, t)
+        b.andi(h, h, _HASH_MASK)
+        # probe = table[h]
+        b.add(addr, tbase, h)
+        b.load(probe, addr)
+
+        def _hit() -> None:
+            # Found: extend the current string.
+            b.add(addr, cbase, h)
+            b.load(code, addr)
+
+        def _miss() -> None:
+            # Linear re-probe once (collision chain), then insert.
+            b.addi(h, h, 1)
+            b.andi(h, h, _HASH_MASK)
+            b.add(addr, tbase, h)
+            b.load(probe, addr)
+
+            def _hit2() -> None:
+                b.add(addr, cbase, h)
+                b.load(code, addr)
+
+            def _insert() -> None:
+                b.add(addr, tbase, h)
+                b.store(key, addr)
+                b.add(addr, cbase, h)
+                b.store(nextcode, addr)
+                b.addi(nextcode, nextcode, 1)
+                b.andi(nextcode, nextcode, 0xFFFF)
+                # Emit the previous code.
+                b.add(addr, obase, outpos)
+                b.store(code, addr)
+                b.addi(outpos, outpos, 1)
+                b.mov(code, byte)
+
+            b.if_else(Opcode.BEQ, (probe, key), _hit2, _insert)
+
+        b.if_else(Opcode.BEQ, (probe, key), _hit, _miss)
+
+    # Final checksum over the output (short serial epilogue).
+    chk = b.reg("chk")
+    b.li(chk, 0)
+    with b.for_range(t, 0, 64):
+        b.add(addr, obase, t)
+        b.load(probe, addr)
+        b.xor(chk, chk, probe)
+    b.add(addr, obase, outpos)
+    b.store(chk, addr)
+    b.halt()
+    return b.build()

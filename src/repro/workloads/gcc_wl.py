@@ -1,0 +1,167 @@
+"""``gcc`` analogue: multi-phase pass pipeline over linked IR nodes.
+
+SpecInt95 ``gcc`` is the most irregular program in the suite: many phases,
+each walking pointer-linked RTL structures with highly data-dependent
+branches and frequent small-function calls.  The analogue runs a
+lex -> build-IR -> constant-fold -> schedule pipeline over a linked list of
+"insn" nodes in memory, repeated over several "functions" being compiled.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, RV_REG, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import dataset_seed, pseudo_random_words, scaled
+
+#: IR node layout (words): [0]=kind, [1]=op1, [2]=op2, [3]=next-pointer.
+_NODE_WORDS = 4
+_KINDS = 4  # 0 const, 1 reg, 2 binop, 3 jump
+
+
+def build_gcc(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the gcc analogue; ``scale`` multiplies the compiled functions."""
+    n_functions = scaled(11, scale)
+    tokens_per_fn = 96
+    b = ProgramBuilder("gcc")
+
+    token_base = b.alloc_data(
+        pseudo_random_words(dataset_seed(0x6CC, dataset), n_functions * tokens_per_fn, 0, 1 << 12)
+    )
+    heap_base = b.alloc((tokens_per_fn + 2) * _NODE_WORDS * 2)
+    #: Lexer state cell: ``classify`` records the token class here and the
+    #: parser consults it right after the call (gcc's lexer communicates
+    #: with the parser through globals like yylval in exactly this way).
+    lexstate_addr = b.alloc_data([0])
+
+    fn = b.reg("fn")
+    i = b.reg("i")
+    tok = b.reg("tok")
+    kind = b.reg("kind")
+    node = b.reg("node")
+    prev = b.reg("prev")
+    head = b.reg("head")
+    heap = b.reg("heap")
+    tbase = b.reg("tbase")
+    addr = b.reg("addr")
+    v1 = b.reg("v1")
+    v2 = b.reg("v2")
+    folded = b.reg("folded")
+    cost = b.reg("cost")
+    t = b.reg("t")
+
+    b.li(tbase, token_base)
+    b.li(cost, 0)
+
+    with b.for_range(fn, 0, n_functions):
+        # ---- Phase 1+2: lex tokens and build the linked IR list. ----
+        b.li(heap, heap_base)
+        b.li(head, 0)
+        b.li(prev, 0)
+        with b.for_range(i, 0, tokens_per_fn):
+            b.li(addr, tokens_per_fn)
+            b.mul(t, fn, addr)
+            b.add(t, t, i)
+            b.add(addr, tbase, t)
+            b.load(tok, addr)
+            b.mov(ARG_REGS[0], tok)
+            b.call("classify")
+            b.li(addr, lexstate_addr)
+            b.load(kind, addr)
+            # allocate node
+            b.mov(node, heap)
+            b.addi(heap, heap, _NODE_WORDS)
+            b.store(kind, node, 0)
+            b.andi(t, tok, 255)
+            b.store(t, node, 1)
+            b.shri(t, tok, 4)
+            b.andi(t, t, 255)
+            b.store(t, node, 2)
+            b.store(0, node, 3)
+            # link
+
+            def _first() -> None:
+                b.mov(head, node)
+
+            def _chain() -> None:
+                b.store(node, prev, 3)
+
+            b.if_else(Opcode.BEQZ, (prev,), _first, _chain)
+            b.mov(prev, node)
+
+        # ---- Phase 3: constant folding walk (data-dependent updates). ----
+        b.li(folded, 0)
+        b.mov(node, head)
+        with b.while_(Opcode.BNEZ, (node,)):
+            b.load(kind, node, 0)
+            b.load(v1, node, 1)
+            b.load(v2, node, 2)
+            # Per-node hash of the operands (value-numbering style work).
+            b.shli(t, v1, 3)
+            b.xor(t, t, v2)
+            b.shri(v2, t, 2)
+            b.xor(t, t, v2)
+            b.andi(t, t, 255)
+            b.add(folded, folded, t)
+            b.andi(folded, folded, 0xFFFF)
+            b.li(t, 2)
+            with b.if_(Opcode.BEQ, (kind, t)):
+                b.load(v1, node, 1)
+                b.load(v2, node, 2)
+                with b.if_(Opcode.BLT, (v2, v1)):
+                    # fold: becomes a const of the sum
+                    b.store(0, node, 0)
+                    b.add(v1, v1, v2)
+                    b.store(v1, node, 1)
+                    b.addi(folded, folded, 1)
+            b.load(node, node, 3)
+
+        # ---- Phase 4: scheduling cost walk with an inner lookahead. ----
+        b.mov(node, head)
+        with b.while_(Opcode.BNEZ, (node,)):
+            b.load(kind, node, 0)
+            b.mov(ARG_REGS[0], node)
+            b.mov(ARG_REGS[1], kind)
+            b.call("sched_cost")
+            b.add(cost, cost, RV_REG)
+            b.load(node, node, 3)
+    b.halt()
+
+    # classify(tok): records the token class in the lexer state cell.
+    with b.function("classify"):
+        x = b.reg("cl_x")
+        y = b.reg("cl_y")
+        b.shri(x, ARG_REGS[0], 3)
+        b.xor(x, x, ARG_REGS[0])
+        b.andi(x, x, 7)
+        b.li(y, _KINDS)
+        b.rem(x, x, y)
+        b.li(y, lexstate_addr)
+        b.store(x, y)
+        b.mov(RV_REG, x)
+
+    # sched_cost(node, kind): look ahead up to 3 successors, sum a
+    # kind-dependent latency (irregular short inner loop).
+    with b.function("sched_cost"):
+        n = b.reg("sc_n")
+        k = b.reg("sc_k")
+        c = b.reg("sc_c")
+        j = b.reg("sc_j")
+        kk = b.reg("sc_kk")
+        b.mov(n, ARG_REGS[0])
+        b.mov(k, ARG_REGS[1])
+        b.addi(c, k, 1)
+        b.li(j, 0)
+        lim = b.temp()
+        b.li(lim, 3)
+        with b.while_(Opcode.BLT, (j, lim)):
+            b.load(n, n, 3)
+            with b.if_(Opcode.BEQZ, (n,)):
+                b.li(j, 3)
+            with b.if_(Opcode.BNEZ, (n,)):
+                b.load(kk, n, 0)
+                with b.if_(Opcode.BEQ, (kk, k)):
+                    b.addi(c, c, 2)  # structural hazard
+            b.addi(j, j, 1)
+        b.mov(RV_REG, c)
+    return b.build()

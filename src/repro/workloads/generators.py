@@ -1,0 +1,60 @@
+"""Shared helpers for the workload generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.builder import ProgramBuilder
+
+#: Multiplier/increment of the in-program linear congruential generator
+#: (the classic C library constants; results masked to 31 bits).
+LCG_MUL = 1103515245
+LCG_INC = 12345
+LCG_MASK = 0x7FFFFFFF
+
+
+def emit_lcg_next(b: ProgramBuilder, state: int, scratch: int) -> None:
+    """Advance an in-program LCG: ``state = (state * MUL + INC) & MASK``."""
+    b.li(scratch, LCG_MUL)
+    b.mul(state, state, scratch)
+    b.addi(state, state, LCG_INC)
+    b.andi(state, state, LCG_MASK)
+
+
+def pseudo_random_words(seed: int, count: int, lo: int, hi: int) -> List[int]:
+    """Deterministic pseudo-random data for initial memory images."""
+    rng = random.Random(seed)
+    return [rng.randrange(lo, hi) for _ in range(count)]
+
+
+def dataset_seed(seed: int, dataset: str) -> int:
+    """Derive a per-dataset seed.
+
+    Workloads take a ``dataset`` name ("train", "ref", ...) that reshuffles
+    their *data* while leaving the program text identical — the setup
+    needed to profile on one input and evaluate on another.
+    """
+    if dataset == "train":
+        return seed
+    folded = 0
+    for ch in dataset.encode():
+        folded = (folded * 131 + ch) & 0x7FFF
+    return seed ^ (folded << 4) ^ 0x2A55AA
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale a trip count, never below ``minimum``."""
+    return max(minimum, int(round(base * scale)))
+
+
+def emit_push(b: ProgramBuilder, sp: int, reg: int) -> None:
+    """Push ``reg`` onto a downward-growing memory stack at ``sp``."""
+    b.addi(sp, sp, -1)
+    b.store(reg, sp, 0)
+
+
+def emit_pop(b: ProgramBuilder, sp: int, reg: int) -> None:
+    """Pop the stack top into ``reg``."""
+    b.load(reg, sp, 0)
+    b.addi(sp, sp, 1)

@@ -1,0 +1,132 @@
+"""``go`` analogue: branchy board evaluation with data-dependent control.
+
+SpecInt95 ``go`` plays the game of Go: its time goes into evaluating board
+positions with deeply data-dependent branches and irregular inner loops
+(liberty counting, pattern matches).  The analogue keeps a 19x19 board and,
+for a sequence of moves, scores a sample of candidate points by inspecting
+neighbours and walking chains — heavy conditional control, modest calls.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, RV_REG, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import dataset_seed, pseudo_random_words, scaled
+
+_SIZE = 19
+_POINTS = _SIZE * _SIZE
+
+
+def build_go(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the go analogue; ``scale`` multiplies the number of moves."""
+    n_moves = scaled(42, scale)
+    candidates = 24
+    b = ProgramBuilder("go")
+
+    board_base = b.alloc_data(pseudo_random_words(dataset_seed(0x60B0, dataset), _POINTS, 0, 3))
+    score_base = b.alloc(_POINTS)
+    # Candidate move list, precomputed as real go engines do (move
+    # generators fill a list; the evaluator scans it) — scanning memory
+    # instead of chaining an in-loop RNG keeps evaluations independent.
+    cand_base = b.alloc_data(
+        v % _POINTS
+        for v in pseudo_random_words(dataset_seed(0x5EED, dataset), n_moves * candidates, 0, 1 << 20)
+    )
+
+    move = b.reg("move")
+    cand = b.reg("cand")
+    pos = b.reg("pos")
+    best = b.reg("best")
+    bestpos = b.reg("bestpos")
+    score = b.reg("score")
+    bbase = b.reg("bbase")
+    sbase = b.reg("sbase")
+    addr = b.reg("addr")
+    stone = b.reg("stone")
+    t = b.reg("t")
+    npoints = b.reg("npoints")
+
+    b.li(bbase, board_base)
+    b.li(sbase, score_base)
+    b.li(npoints, _POINTS)
+
+    cbase = b.reg("cbase")
+    b.li(cbase, cand_base)
+    with b.for_range(move, 0, n_moves):
+        b.li(best, -1)
+        b.li(bestpos, 0)
+        with b.for_range(cand, 0, candidates):
+            # pos = candidate_list[move * candidates + cand]
+            b.li(t, candidates)
+            b.mul(pos, move, t)
+            b.add(pos, pos, cand)
+            b.add(pos, pos, cbase)
+            b.load(pos, pos)
+            # score = evaluate(pos)
+            b.mov(ARG_REGS[0], pos)
+            b.call("evaluate")
+            b.mov(score, RV_REG)
+            # keep the best candidate
+            with b.if_(Opcode.BLT, (best, score)):
+                b.mov(best, score)
+                b.mov(bestpos, pos)
+        # play: flip the stone at bestpos, record the score
+        b.add(addr, bbase, bestpos)
+        b.load(stone, addr)
+        b.addi(stone, stone, 1)
+        b.li(t, 3)
+        b.rem(stone, stone, t)
+        b.store(stone, addr)
+        b.add(addr, sbase, bestpos)
+        b.store(best, addr)
+    b.halt()
+
+    # ------------------------------------------------------------------
+    # evaluate(pos) -> score: inspect the four neighbours; for friendly
+    # stones walk a short chain east counting "liberties".
+    # ------------------------------------------------------------------
+    with b.function("evaluate"):
+        p = ARG_REGS[0]
+        s = b.reg("ev_s")
+        a = b.reg("ev_a")
+        v = b.reg("ev_v")
+        k = b.reg("ev_k")
+        lim = b.reg("ev_lim")
+        b.li(s, 0)
+        for delta in (-_SIZE, _SIZE, -1, 1):
+            b.addi(a, p, delta)
+            # bounds check: skip when outside [0, POINTS)
+            with b.if_(Opcode.BGE, (a, 0)):
+                b.li(v, _POINTS)
+                with b.if_(Opcode.BLT, (a, v)):
+                    b.add(a, a, bbase)
+                    b.load(v, a)
+
+                    def _empty() -> None:
+                        b.addi(s, s, 2)
+
+                    def _stone() -> None:
+                        b.addi(s, s, 1)
+
+                    b.if_else(Opcode.BEQZ, (v,), _empty, _stone)
+        # chain walk east while stones continue (data-dependent trip count)
+        b.mov(a, p)
+        b.li(k, 0)
+        b.li(lim, 6)
+        head_cond = b.temp()
+        with b.while_(Opcode.BLT, (k, lim)):
+            b.addi(a, a, 1)
+            b.li(head_cond, _POINTS)
+            with b.if_(Opcode.BGE, (a, head_cond)):
+                b.li(k, 6)  # force exit at the edge
+            with b.if_(Opcode.BLT, (a, head_cond)):
+                b.add(v, a, bbase)
+                b.load(v, v)
+                with b.if_(Opcode.BNEZ, (v,)):
+                    b.addi(s, s, 1)
+                with b.if_(Opcode.BEQZ, (v,)):
+                    b.li(k, 6)  # chain ended
+            b.addi(k, k, 1)
+        b.mov(RV_REG, s)
+    return b.build()

@@ -1,0 +1,173 @@
+"""``li`` analogue: recursive list interpreter over cons cells.
+
+SpecInt95 ``li`` is a Lisp interpreter: recursive evaluation over garbage-
+collected cons cells, dominated by pointer chasing and call/return control.
+The analogue builds binary cons trees in memory and runs recursive passes
+over them (sum, depth, destructive increment) using an explicit memory
+stack for values live across recursive calls — recursion depth and branch
+outcomes depend on the data.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, RV_REG, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import (
+    dataset_seed,
+    emit_pop,
+    emit_push,
+    pseudo_random_words,
+    scaled,
+)
+
+#: Cons cell layout (words): [0]=tag (0 atom, 1 cons), [1]=car, [2]=cdr.
+_CELL_WORDS = 3
+_STACK_WORDS = 512
+#: Fixed heap reservation so addresses (and thus program text) do not
+#: depend on the data-driven tree shapes.
+_HEAP_WORDS = 6000
+
+
+def _build_tree(cells, rng_words, idx, depth):
+    """Construct a random tree in the Python-side heap image.
+
+    Returns (cell index, next rng index).
+    """
+    my = len(cells)
+    if depth == 0 or rng_words[idx % len(rng_words)] % 4 == 0:
+        cells.append((0, rng_words[idx % len(rng_words)] % 100, 0))
+        return my, idx + 1
+    cells.append(None)  # placeholder until children exist
+    left, idx = _build_tree(cells, rng_words, idx + 1, depth - 1)
+    right, idx = _build_tree(cells, rng_words, idx + 1, depth - 1)
+    cells[my] = (1, left, right)
+    return my, idx
+
+
+def build_li(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the li analogue; ``scale`` multiplies the evaluation passes."""
+    n_passes = scaled(22, scale)
+    b = ProgramBuilder("li")
+
+    rng_words = pseudo_random_words(dataset_seed(0x115B, dataset), 512, 0, 1 << 20)
+    cells = []
+    roots = []
+    idx = 0
+    for _ in range(6):
+        root, idx = _build_tree(cells, rng_words, idx, 7)
+        roots.append(root)
+
+    if len(cells) * _CELL_WORDS > _HEAP_WORDS:
+        raise ValueError("li tree image exceeds the fixed heap reservation")
+    heap_base = b.alloc(_HEAP_WORDS)
+    for ci, (tag, car, cdr) in enumerate(cells):
+        base = heap_base + ci * _CELL_WORDS
+        if tag == 1:
+            car = heap_base + car * _CELL_WORDS
+            cdr = heap_base + cdr * _CELL_WORDS
+        b.data(base, [tag, car, cdr])
+
+    roots_base = b.alloc_data(heap_base + r * _CELL_WORDS for r in roots)
+    stack_top = b.alloc(_STACK_WORDS) + _STACK_WORDS
+
+    p = b.reg("pass")
+    r = b.reg("root")
+    addr = b.reg("addr")
+    total = b.reg("total")
+    rbase = b.reg("rbase")
+    sp = b.reg("sp")
+    t = b.reg("t")
+
+    b.li(rbase, roots_base)
+    b.li(sp, stack_top)
+    b.li(total, 0)
+
+    with b.for_range(p, 0, n_passes):
+        with b.for_range(r, 0, len(roots)):
+            b.add(addr, rbase, r)
+            b.load(ARG_REGS[0], addr)
+            b.call("tree_sum")
+            b.add(total, total, RV_REG)
+            b.add(addr, rbase, r)
+            b.load(ARG_REGS[0], addr)
+            b.andi(ARG_REGS[1], p, 3)
+            b.call("tree_bump")
+        # alternate pass: depth of one rotating root
+        b.li(t, len(roots))
+        b.rem(t, p, t)
+        b.add(addr, rbase, t)
+        b.load(ARG_REGS[0], addr)
+        b.call("tree_depth")
+        b.add(total, total, RV_REG)
+    b.halt()
+
+    # tree_sum(cell) -> sum of atom values (recursive).
+    with b.function("tree_sum"):
+        tag = b.reg("ts_tag")
+        node = b.reg("ts_node")
+        b.load(tag, ARG_REGS[0], 0)
+
+        def _atom() -> None:
+            b.load(RV_REG, ARG_REGS[0], 1)
+
+        def _cons() -> None:
+            emit_push(b, sp, ARG_REGS[0])
+            b.load(ARG_REGS[0], ARG_REGS[0], 1)
+            b.call("tree_sum")
+            b.load(node, sp, 0)  # peek the node back
+            b.store(RV_REG, sp, 0)  # replace slot with the left sum
+            b.load(ARG_REGS[0], node, 2)
+            b.call("tree_sum")
+            emit_pop(b, sp, node)  # node now holds the left sum
+            b.add(RV_REG, RV_REG, node)
+
+        b.if_else(Opcode.BEQZ, (tag,), _atom, _cons)
+
+    # tree_depth(cell) -> max depth (recursive, branchier merge).
+    with b.function("tree_depth"):
+        tag = b.reg("td_tag")
+        node = b.reg("td_node")
+        b.load(tag, ARG_REGS[0], 0)
+
+        def _atom() -> None:
+            b.li(RV_REG, 1)
+
+        def _cons() -> None:
+            emit_push(b, sp, ARG_REGS[0])
+            b.load(ARG_REGS[0], ARG_REGS[0], 1)
+            b.call("tree_depth")
+            b.load(node, sp, 0)
+            b.store(RV_REG, sp, 0)
+            b.load(ARG_REGS[0], node, 2)
+            b.call("tree_depth")
+            emit_pop(b, sp, node)  # left depth
+            with b.if_(Opcode.BLT, (RV_REG, node)):
+                b.mov(RV_REG, node)
+            b.addi(RV_REG, RV_REG, 1)
+
+        b.if_else(Opcode.BEQZ, (tag,), _atom, _cons)
+
+    # tree_bump(cell, delta): destructive atom increment (recursive).
+    with b.function("tree_bump"):
+        tag = b.reg("tb_tag")
+        node = b.reg("tb_node")
+        v = b.reg("tb_v")
+        b.load(tag, ARG_REGS[0], 0)
+
+        def _atom() -> None:
+            b.load(v, ARG_REGS[0], 1)
+            b.add(v, v, ARG_REGS[1])
+            b.andi(v, v, 1023)
+            b.store(v, ARG_REGS[0], 1)
+
+        def _cons() -> None:
+            emit_push(b, sp, ARG_REGS[0])
+            b.load(ARG_REGS[0], ARG_REGS[0], 1)
+            b.call("tree_bump")
+            emit_pop(b, sp, node)
+            b.load(ARG_REGS[0], node, 2)
+            b.call("tree_bump")  # tail call: nothing live afterwards
+
+        b.if_else(Opcode.BEQZ, (tag,), _atom, _cons)
+    return b.build()

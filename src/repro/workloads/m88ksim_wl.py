@@ -1,0 +1,194 @@
+"""``m88ksim`` analogue: fetch/decode/dispatch CPU-simulator loop.
+
+SpecInt95 ``m88ksim`` simulates a Motorola 88100: a dominant
+fetch-decode-execute loop whose dispatch and handler control flow depends on
+the guest instruction stream.  The analogue interprets a synthetic guest
+program (opcode + two operand fields packed per word) held in memory, with
+per-opcode handlers as subroutines and guest registers in a memory file.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import dataset_seed, pseudo_random_words, scaled
+
+_GUEST_REGS = 32
+_N_OPS = 5  # guest opcodes: 0 add, 1 sub, 2 load, 3 store, 4 branch
+
+
+def _encode_guest_program(seed: int, length: int):
+    """Pack a guest program: word = op*4096 + ra*64 + rb."""
+    words = []
+    for raw in pseudo_random_words(seed, length, 0, 1 << 20):
+        op = raw % _N_OPS
+        ra = (raw >> 4) % _GUEST_REGS
+        rb = (raw >> 10) % _GUEST_REGS
+        words.append(op * 4096 + ra * 64 + rb)
+    return words
+
+
+def build_m88ksim(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the m88ksim analogue; ``scale`` multiplies guest cycles."""
+    guest_len = 200
+    n_cycles = scaled(1000, scale)
+    b = ProgramBuilder("m88ksim")
+
+    code_base = b.alloc_data(_encode_guest_program(dataset_seed(0x88, dataset), guest_len))
+    regfile_base = b.alloc_data(pseudo_random_words(dataset_seed(0x88F, dataset), _GUEST_REGS, 0, 100))
+    gmem_base = b.alloc_data(pseudo_random_words(dataset_seed(0x88A, dataset), 64, 0, 1000))
+    #: Guest PSR word: every handler records an exception/carry code here
+    #: and the dispatch loop inspects it right after the handler returns —
+    #: the 88100's sequencer does the same after every executed instruction.
+    psr_addr = b.alloc_data([0])
+
+    cyc = b.reg("cyc")
+    gpc = b.reg("gpc")
+    word = b.reg("word")
+    gop = b.reg("gop")
+    ra = b.reg("ra")
+    rb = b.reg("rb")
+    addr = b.reg("addr")
+    codeb = b.reg("codeb")
+    regb = b.reg("regb")
+    memb = b.reg("memb")
+    glen = b.reg("glen")
+    t = b.reg("t")
+
+    b.li(codeb, code_base)
+    b.li(regb, regfile_base)
+    b.li(memb, gmem_base)
+    b.li(glen, guest_len)
+    b.li(gpc, 0)
+
+    stats1 = b.reg("stats1")
+    stats2 = b.reg("stats2")
+    b.li(stats1, 0)
+    b.li(stats2, 0)
+
+    with b.for_range(cyc, 0, n_cycles):
+        # Fetch and decode.
+        b.add(addr, codeb, gpc)
+        b.load(word, addr)
+        b.shri(gop, word, 12)
+        b.shri(ra, word, 6)
+        b.andi(ra, ra, _GUEST_REGS - 1)
+        b.andi(rb, word, _GUEST_REGS - 1)
+        b.mov(ARG_REGS[0], ra)
+        b.mov(ARG_REGS[1], rb)
+        # Simulator bookkeeping: per-cycle statistics and a decode
+        # checksum, independent across iterations except for the plain
+        # counters (which are stride-predictable live-ins).
+        b.addi(stats1, stats1, 1)
+        b.shli(t, gop, 3)
+        b.xor(t, t, ra)
+        b.shli(t, t, 2)
+        b.xor(t, t, rb)
+        b.add(stats2, stats2, t)
+        b.andi(stats2, stats2, 0xFFFF)
+        b.mul(t, gop, gop)
+        b.add(stats1, stats1, t)
+        b.andi(stats1, stats1, 0xFFFF)
+        # Dispatch chain (no indirect jumps in the ISA, like a switch
+        # lowered to compare/branch).
+        psr = b.reg("psr")
+        b.li(t, 0)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("h_add")
+        b.li(t, 1)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("h_sub")
+        b.li(t, 2)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("h_load")
+        b.li(t, 3)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("h_store")
+        # Exception check: inspect the PSR the handler just wrote.
+        b.li(psr, psr_addr)
+        b.load(psr, psr)
+        with b.if_(Opcode.BNEZ, (psr,)):
+            b.addi(stats2, stats2, 1)
+        # Guest branch: a counted loop-back — decrement reg[ra]; while it
+        # stays positive jump back 7 guest instructions, else reset the
+        # counter from rb and fall through (guarantees guest progress).
+        b.li(t, 4)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.add(addr, regb, ra)
+            b.load(word, addr)
+            b.addi(word, word, -1)
+            b.andi(word, word, 7)
+            b.store(word, addr)
+
+            def _taken() -> None:
+                b.addi(gpc, gpc, -7)
+                with b.if_(Opcode.BLT, (gpc, 0)):
+                    b.li(gpc, 0)
+
+            def _fall() -> None:
+                b.addi(gpc, gpc, 1)
+
+            b.if_else(Opcode.BNEZ, (word,), _taken, _fall)
+        with b.if_(Opcode.BNE, (gop, t)):
+            b.addi(gpc, gpc, 1)
+        # Wrap the guest pc.
+        with b.if_(Opcode.BGE, (gpc, glen)):
+            b.li(gpc, 0)
+    b.halt()
+
+    # Handlers: operate on the guest register file in memory.
+    with b.function("h_add"):
+        x, y = b.reg("ha_x"), b.reg("ha_y")
+        a = b.reg("ha_a")
+        b.add(a, regb, ARG_REGS[0])
+        b.load(x, a)
+        b.add(a, regb, ARG_REGS[1])
+        b.load(y, a)
+        b.add(x, x, y)
+        b.add(a, regb, ARG_REGS[0])
+        b.store(x, a)
+        b.shri(y, x, 14)
+        b.li(a, psr_addr)
+        b.store(y, a)
+    with b.function("h_sub"):
+        x, y = b.reg("hs_x"), b.reg("hs_y")
+        a = b.reg("hs_a")
+        b.add(a, regb, ARG_REGS[0])
+        b.load(x, a)
+        b.add(a, regb, ARG_REGS[1])
+        b.load(y, a)
+        b.sub(x, x, y)
+        b.addi(x, x, 1)
+        b.add(a, regb, ARG_REGS[0])
+        b.store(x, a)
+        b.shri(y, x, 14)
+        b.li(a, psr_addr)
+        b.store(y, a)
+    with b.function("h_load"):
+        x = b.reg("hl_x")
+        a = b.reg("hl_a")
+        b.add(a, regb, ARG_REGS[1])
+        b.load(x, a)
+        b.andi(x, x, 63)
+        b.add(a, memb, x)
+        b.load(x, a)
+        b.add(a, regb, ARG_REGS[0])
+        b.store(x, a)
+        b.shri(x, x, 14)
+        b.li(a, psr_addr)
+        b.store(x, a)
+    with b.function("h_store"):
+        x, y = b.reg("hw_x"), b.reg("hw_y")
+        a = b.reg("hw_a")
+        b.add(a, regb, ARG_REGS[0])
+        b.load(x, a)
+        b.add(a, regb, ARG_REGS[1])
+        b.load(y, a)
+        b.andi(y, y, 63)
+        b.add(a, memb, y)
+        b.store(x, a)
+        b.shri(x, x, 14)
+        b.li(a, psr_addr)
+        b.store(x, a)
+    return b.build()

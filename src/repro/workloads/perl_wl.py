@@ -1,0 +1,205 @@
+"""``perl`` analogue: bytecode interpreter with string and hash ops.
+
+SpecInt95 ``perl`` interprets Perl programs: an opcode dispatch loop like
+``m88ksim`` but with heavier per-op work — string copies/compares over
+memory buffers and symbol-table (hash) lookups — and guest-level control
+flow that depends on computed values.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, RV_REG, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import dataset_seed, pseudo_random_words, scaled
+
+_N_OPS = 6  # 0 push, 1 add, 2 strcpy, 3 strcmp, 4 hset, 5 branch
+_HASH_SIZE = 64
+_STR_LEN = 12
+
+
+def _encode_script(seed: int, length: int):
+    """Guest bytecode: word = op*4096 + operand."""
+    words = []
+    for raw in pseudo_random_words(seed, length, 0, 1 << 20):
+        op = raw % _N_OPS
+        operand = (raw >> 5) % 256
+        words.append(op * 4096 + operand)
+    return words
+
+
+def build_perl(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the perl analogue; ``scale`` multiplies interpreted steps."""
+    script_len = 160
+    n_steps = scaled(620, scale)
+    b = ProgramBuilder("perl")
+
+    script_base = b.alloc_data(_encode_script(dataset_seed(0x9E71, dataset), script_len))
+    strpool_base = b.alloc_data(
+        pseudo_random_words(dataset_seed(0x57E, dataset), 8 * _STR_LEN, 32, 127)
+    )
+    strbuf_base = b.alloc(_STR_LEN)
+    hkeys_base = b.alloc(_HASH_SIZE)
+    hvals_base = b.alloc(_HASH_SIZE)
+    stack_base = b.alloc(64)
+
+    step = b.reg("step")
+    gpc = b.reg("gpc")
+    word = b.reg("word")
+    gop = b.reg("gop")
+    arg = b.reg("arg")
+    addr = b.reg("addr")
+    acc = b.reg("acc")
+    vsp = b.reg("vsp")
+    sbase = b.reg("sbase")
+    slen = b.reg("slen")
+    t = b.reg("t")
+
+    b.li(sbase, script_base)
+    b.li(slen, script_len)
+    b.li(gpc, 0)
+    b.li(acc, 0)
+    b.li(vsp, stack_base)
+
+    with b.for_range(step, 0, n_steps):
+        b.add(addr, sbase, gpc)
+        b.load(word, addr)
+        b.shri(gop, word, 12)
+        b.andi(arg, word, 255)
+        b.mov(ARG_REGS[0], arg)
+        # dispatch chain
+        b.li(t, 0)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            # push arg
+            b.store(arg, vsp, 0)
+            b.addi(vsp, vsp, 1)
+            b.andi(t, vsp, 31)
+            with b.if_(Opcode.BEQZ, (t,)):
+                b.li(vsp, 0)
+                b.addi(vsp, vsp, stack_base)  # wrap the value stack
+        b.li(t, 1)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.add(acc, acc, arg)
+            b.andi(acc, acc, 0xFFFF)
+        b.li(t, 2)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("op_strcpy")
+        b.li(t, 3)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.call("op_strcmp")
+            b.add(acc, acc, RV_REG)
+        b.li(t, 4)
+        with b.if_(Opcode.BEQ, (gop, t)):
+            b.mov(ARG_REGS[1], acc)
+            b.call("op_hset")
+        # guest control: an LFSR step over acc decides the branch, so the
+        # branch itself perturbs its own condition (guest always advances)
+        b.li(t, 5)
+
+        def _branch_op() -> None:
+            b.andi(t, acc, 1)
+            b.shri(acc, acc, 1)
+            with b.if_(Opcode.BNEZ, (t,)):
+                b.xori(acc, acc, 0xB8)
+            with b.if_(Opcode.BEQZ, (acc,)):
+                b.li(acc, 0x5A)  # reseed the LFSR
+
+            def _back() -> None:
+                b.addi(gpc, gpc, -11)
+                with b.if_(Opcode.BLT, (gpc, 0)):
+                    b.li(gpc, 0)
+
+            def _fwd() -> None:
+                b.addi(gpc, gpc, 2)
+
+            b.if_else(Opcode.BEQZ, (t,), _back, _fwd)
+
+        def _next_op() -> None:
+            b.addi(gpc, gpc, 1)
+
+        b.if_else(Opcode.BEQ, (gop, t), _branch_op, _next_op)
+        with b.if_(Opcode.BGE, (gpc, slen)):
+            b.li(gpc, 0)
+    b.halt()
+
+    # op_strcpy(arg): copy one pooled string into the work buffer.
+    with b.function("op_strcpy"):
+        i = b.reg("sc_i")
+        src = b.reg("sc_src")
+        dst = b.reg("sc_dst")
+        c = b.reg("sc_c")
+        b.andi(src, ARG_REGS[0], 7)
+        b.li(c, _STR_LEN)
+        b.mul(src, src, c)
+        b.addi(src, src, strpool_base)
+        b.li(dst, strbuf_base)
+        with b.for_range(i, 0, _STR_LEN):
+            b.load(c, src, 0)
+            b.store(c, dst, 0)
+            b.addi(src, src, 1)
+            b.addi(dst, dst, 1)
+
+    # op_strcmp(arg) -> 0/1: compare the buffer with a pooled string,
+    # early-exit loop (data-dependent trip count).
+    with b.function("op_strcmp"):
+        i = b.reg("sm_i")
+        pa = b.reg("sm_pa")
+        pb = b.reg("sm_pb")
+        ca = b.reg("sm_ca")
+        cb = b.reg("sm_cb")
+        lim = b.reg("sm_lim")
+        b.andi(pa, ARG_REGS[0], 7)
+        b.li(lim, _STR_LEN)
+        b.mul(pa, pa, lim)
+        b.addi(pa, pa, strpool_base)
+        b.li(pb, strbuf_base)
+        b.li(RV_REG, 1)
+        b.li(i, 0)
+        with b.while_(Opcode.BLT, (i, lim)):
+            b.load(ca, pa, 0)
+            b.load(cb, pb, 0)
+            with b.if_(Opcode.BNE, (ca, cb)):
+                b.li(RV_REG, 0)
+                b.li(i, _STR_LEN - 1)
+            b.addi(pa, pa, 1)
+            b.addi(pb, pb, 1)
+            b.addi(i, i, 1)
+
+    # op_hset(key, value): open-addressing insert into the symbol table.
+    with b.function("op_hset"):
+        h = b.reg("hs_h")
+        k = b.reg("hs_k")
+        probe = b.reg("hs_probe")
+        tries = b.reg("hs_tries")
+        a = b.reg("hs_a")
+        lim = b.reg("hs_lim")
+        b.addi(k, ARG_REGS[0], 1)  # keys are nonzero
+        b.shli(h, k, 2)
+        b.xor(h, h, k)
+        b.andi(h, h, _HASH_SIZE - 1)
+        b.li(tries, 0)
+        b.li(lim, 4)
+        with b.while_(Opcode.BLT, (tries, lim)):
+            b.li(a, hkeys_base)
+            b.add(a, a, h)
+            b.load(probe, a)
+
+            def _takeslot() -> None:
+                b.li(a, hkeys_base)
+                b.add(a, a, h)
+                b.store(k, a)
+                b.li(a, hvals_base)
+                b.add(a, a, h)
+                b.store(ARG_REGS[1], a)
+                b.li(tries, 4)
+
+            def _collide() -> None:
+                b.addi(h, h, 1)
+                b.andi(h, h, _HASH_SIZE - 1)
+
+            def _check() -> None:
+                b.if_else(Opcode.BEQ, (probe, k), _takeslot, _collide)
+
+            b.if_else(Opcode.BEQZ, (probe,), _takeslot, _check)
+            b.addi(tries, tries, 1)
+    return b.build()

@@ -1,0 +1,76 @@
+"""Workload registry: build programs and (cached) traces by name."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.exec import Trace, run_program
+from repro.isa.program import Program
+from repro.workloads.compress_wl import build_compress
+from repro.workloads.gcc_wl import build_gcc
+from repro.workloads.go_wl import build_go
+from repro.workloads.ijpeg_wl import build_ijpeg
+from repro.workloads.li_wl import build_li
+from repro.workloads.m88ksim_wl import build_m88ksim
+from repro.workloads.perl_wl import build_perl
+from repro.workloads.vortex_wl import build_vortex
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload and the builder that generates its program.
+
+    Builders take ``(scale, dataset)``: scale multiplies trip counts,
+    dataset reshuffles the input data without changing the program text.
+    """
+
+    name: str
+    builder: Callable[..., Program]
+    description: str
+
+
+#: The SpecInt95-analogue suite, in the paper's presentation order.
+SPECINT95: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec("go", build_go, "branchy board evaluation"),
+        WorkloadSpec("m88ksim", build_m88ksim, "CPU-simulator dispatch loop"),
+        WorkloadSpec("gcc", build_gcc, "multi-phase pass pipeline over IR"),
+        WorkloadSpec("compress", build_compress, "serial hash-chained loop"),
+        WorkloadSpec("li", build_li, "recursive list interpreter"),
+        WorkloadSpec("ijpeg", build_ijpeg, "regular block/FP kernels"),
+        WorkloadSpec("perl", build_perl, "bytecode interpreter"),
+        WorkloadSpec("vortex", build_vortex, "object-database transactions"),
+    )
+}
+
+
+def workload_names() -> List[str]:
+    """Suite members in canonical (paper) order."""
+    return list(SPECINT95.keys())
+
+
+def build_workload(
+    name: str, scale: float = 1.0, dataset: str = "train"
+) -> Program:
+    """Build the named workload's program."""
+    try:
+        spec = SPECINT95[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+    return spec.builder(scale, dataset)
+
+
+@functools.lru_cache(maxsize=32)
+def load_trace(name: str, scale: float = 1.0, dataset: str = "train") -> Trace:
+    """Build, execute and cache the named workload's dynamic trace.
+
+    Traces are deterministic for a given (name, scale, dataset), so caching
+    is safe and keeps experiment sweeps from re-running the functional
+    simulation.
+    """
+    return run_program(build_workload(name, scale, dataset))

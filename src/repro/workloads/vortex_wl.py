@@ -1,0 +1,178 @@
+"""``vortex`` analogue: call-heavy object-database transactions.
+
+SpecInt95 ``vortex`` is an object-oriented database: transaction processing
+through deep call chains (lookup, validate, update, index maintenance) over
+record structures in memory.  The paper reports its biggest profile-based
+win on vortex — subroutine-rich code where the profile finds spawning pairs
+the call-continuation heuristic misses.  The analogue runs a transaction
+loop where each transaction hashes a key, probes an index, and calls
+validate/update/audit routines on fixed-layout records.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ARG_REGS, RV_REG, ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.workloads.generators import (
+    dataset_seed,
+    emit_lcg_next,
+    pseudo_random_words,
+    scaled,
+)
+
+#: Record layout (words): [0]=key, [1]=balance, [2]=count, [3]=flags.
+_REC_WORDS = 4
+_N_RECORDS = 128
+_INDEX_SIZE = 256
+
+
+def build_vortex(scale: float = 1.0, dataset: str = "train") -> Program:
+    """Build the vortex analogue; ``scale`` multiplies the transactions."""
+    n_txns = scaled(260, scale)
+    b = ProgramBuilder("vortex")
+
+    keys = pseudo_random_words(dataset_seed(0x50B, dataset), _N_RECORDS, 1, 1 << 14)
+    records = []
+    for ri, key in enumerate(keys):
+        records.extend([key, 100 + ri, 0, ri & 3])
+    rec_base = b.alloc_data(records)
+
+    # Index: open-addressed key -> record address.
+    index_keys = [0] * _INDEX_SIZE
+    index_vals = [0] * _INDEX_SIZE
+    for ri, key in enumerate(keys):
+        h = ((key << 1) ^ key) & (_INDEX_SIZE - 1)
+        while index_keys[h]:
+            h = (h + 1) & (_INDEX_SIZE - 1)
+        index_keys[h] = key
+        index_vals[h] = rec_base + ri * _REC_WORDS
+    ikeys_base = b.alloc_data(index_keys)
+    ivals_base = b.alloc_data(index_vals)
+    log_base = b.alloc(n_txns + 1)
+
+    txn = b.reg("txn")
+    rng = b.reg("rng")
+    key = b.reg("key")
+    rec = b.reg("rec")
+    ok = b.reg("ok")
+    logp = b.reg("logp")
+    addr = b.reg("addr")
+    nrec = b.reg("nrec")
+    t = b.reg("t")
+
+    b.li(rng, 0xB0B)
+    b.li(logp, log_base)
+    b.li(nrec, _N_RECORDS)
+
+    with b.for_range(txn, 0, n_txns):
+        # Pick an existing key (mostly) or a missing one (sometimes).
+        emit_lcg_next(b, rng, t)
+        b.rem(key, rng, nrec)
+        b.shli(addr, key, 2)  # record index * REC_WORDS
+        b.addi(addr, addr, rec_base)
+        b.load(key, addr, 0)  # key of that record
+        b.andi(t, rng, 15)
+        with b.if_(Opcode.BEQZ, (t,)):
+            b.addi(key, key, 1)  # poison: likely-miss probe
+        b.mov(ARG_REGS[0], key)
+        b.call("db_lookup")
+        b.mov(rec, RV_REG)
+
+        with b.if_(Opcode.BNEZ, (rec,)):
+            b.mov(ARG_REGS[0], rec)
+            b.call("db_validate")
+            b.mov(ok, RV_REG)
+            with b.if_(Opcode.BNEZ, (ok,)):
+                b.mov(ARG_REGS[0], rec)
+                b.andi(ARG_REGS[1], rng, 31)
+                b.call("db_update")
+                b.mov(ARG_REGS[0], rec)
+                b.call("db_audit")
+                b.store(RV_REG, logp, 0)
+                b.addi(logp, logp, 1)
+    b.halt()
+
+    # db_lookup(key) -> record address or 0 (open-addressing probe loop).
+    with b.function("db_lookup"):
+        h = b.reg("lk_h")
+        probe = b.reg("lk_probe")
+        tries = b.reg("lk_tries")
+        a = b.reg("lk_a")
+        lim = b.reg("lk_lim")
+        k = b.reg("lk_k")
+        b.mov(k, ARG_REGS[0])
+        b.shli(h, k, 1)
+        b.xor(h, h, k)
+        b.andi(h, h, _INDEX_SIZE - 1)
+        b.li(RV_REG, 0)
+        b.li(tries, 0)
+        b.li(lim, 6)
+        with b.while_(Opcode.BLT, (tries, lim)):
+            b.li(a, ikeys_base)
+            b.add(a, a, h)
+            b.load(probe, a)
+
+            def _hit() -> None:
+                b.li(a, ivals_base)
+                b.add(a, a, h)
+                b.load(RV_REG, a)
+                b.li(tries, 6)
+
+            def _next() -> None:
+                def _empty() -> None:
+                    b.li(tries, 6)  # miss: open slot terminates the probe
+
+                def _collide() -> None:
+                    b.addi(h, h, 1)
+                    b.andi(h, h, _INDEX_SIZE - 1)
+
+                b.if_else(Opcode.BEQZ, (probe,), _empty, _collide)
+
+            b.if_else(Opcode.BEQ, (probe, k), _hit, _next)
+            b.addi(tries, tries, 1)
+
+    # db_validate(rec) -> 0/1: flag and balance checks.
+    with b.function("db_validate"):
+        f = b.reg("vd_f")
+        bal = b.reg("vd_bal")
+        b.load(f, ARG_REGS[0], 3)
+        b.li(RV_REG, 1)
+        b.li(bal, 3)
+        with b.if_(Opcode.BEQ, (f, bal)):
+            b.li(RV_REG, 0)  # flag 3 records are locked
+        b.load(bal, ARG_REGS[0], 1)
+        with b.if_(Opcode.BLT, (bal, 0)):
+            b.li(RV_REG, 0)
+
+    # db_update(rec, delta): mutate balance/count, rotate flags.
+    with b.function("db_update"):
+        bal = b.reg("up_bal")
+        cnt = b.reg("up_cnt")
+        f = b.reg("up_f")
+        m = b.reg("up_m")
+        b.load(bal, ARG_REGS[0], 1)
+        b.add(bal, bal, ARG_REGS[1])
+        b.li(m, 100000)
+        b.rem(bal, bal, m)
+        b.store(bal, ARG_REGS[0], 1)
+        b.load(cnt, ARG_REGS[0], 2)
+        b.addi(cnt, cnt, 1)
+        b.store(cnt, ARG_REGS[0], 2)
+        b.load(f, ARG_REGS[0], 3)
+        b.addi(f, f, 1)
+        b.andi(f, f, 3)
+        b.store(f, ARG_REGS[0], 3)
+
+    # db_audit(rec) -> checksum of the record (straight-line loads).
+    with b.function("db_audit"):
+        s = b.reg("au_s")
+        w = b.reg("au_w")
+        b.li(s, 0)
+        for off in range(_REC_WORDS):
+            b.load(w, ARG_REGS[0], off)
+            b.xor(s, s, w)
+            b.shli(s, s, 1)
+            b.andi(s, s, 0xFFFF)
+        b.mov(RV_REG, s)
+    return b.build()

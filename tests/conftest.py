@@ -1,0 +1,65 @@
+"""Shared fixtures: small traces and pair sets reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa import ProgramBuilder
+from repro.workloads import build_workload
+
+#: Workload scale used by the test suite (keeps functional runs fast).
+TEST_SCALE = 0.2
+
+
+@pytest.fixture(scope="session")
+def small_traces():
+    """Reduced-scale traces for a representative workload subset."""
+    return {
+        name: run_program(build_workload(name, TEST_SCALE))
+        for name in ("compress", "vortex", "ijpeg", "m88ksim")
+    }
+
+
+@pytest.fixture(scope="session")
+def loop_trace():
+    """A simple counted loop with an independent body — the canonical
+    spawning-friendly program used by the processor tests."""
+    b = ProgramBuilder("testloop")
+    i = b.reg("i")
+    acc = b.reg("acc")
+    addr = b.reg("addr")
+    val = b.reg("val")
+    base = b.alloc_data(range(100, 400, 3))
+    b.li(acc, 0)
+    with b.for_range(i, 0, 64):
+        b.li(addr, base)
+        b.add(addr, addr, i)
+        b.load(val, addr)
+        b.mul(val, val, val)
+        b.shri(val, val, 2)
+        b.xori(val, val, 21)
+        b.add(val, val, i)
+        b.andi(val, val, 1023)
+        b.store(val, addr)
+    b.halt()
+    return run_program(b.build())
+
+
+@pytest.fixture(scope="session")
+def serial_trace():
+    """A loop whose iterations are chained through one register."""
+    b = ProgramBuilder("serialloop")
+    i = b.reg("i")
+    x = b.reg("x")
+    b.li(x, 1)
+    with b.for_range(i, 0, 64):
+        b.mul(x, x, x)
+        b.addi(x, x, 7)
+        b.andi(x, x, 0xFFFF)
+        b.xori(x, x, 3)
+        b.shri(x, x, 1)
+        b.addi(x, x, 11)
+        b.andi(x, x, 0xFFFF)
+    b.halt()
+    return run_program(b.build())

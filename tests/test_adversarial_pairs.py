@@ -1,0 +1,112 @@
+"""Robustness: the simulator must survive pathological pair tables.
+
+A hardware pair table can hold garbage (wrong binary version, corrupted
+profile); the processor must degrade gracefully, never crash, and never
+violate its accounting invariants.
+"""
+
+import pytest
+
+from repro.cmt import ProcessorConfig, simulate
+from repro.spawning import PairKind, SpawnPair, SpawnPairSet
+
+
+def _pair(sp, cqip, dist=64.0):
+    return SpawnPair(sp, cqip, PairKind.PROFILE, 0.99, dist, dist)
+
+
+def _check_invariants(trace, stats):
+    assert stats.instructions == len(trace)
+    assert sum(stats.thread_sizes) == len(trace)
+    assert stats.threads_committed == stats.spawns + 1
+
+
+ORDER_MODES = ("exact", "counter", "tail", "none")
+
+
+@pytest.mark.parametrize("mode", ORDER_MODES)
+class TestAdversarialPairs:
+    def test_cqip_at_halt(self, loop_trace, mode):
+        halt_pc = loop_trace[-1].pc
+        pairs = SpawnPairSet([_pair(loop_trace[0].pc, halt_pc)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+
+    def test_cqip_equals_sp_outside_a_loop(self, loop_trace, mode):
+        # pc 0 executes once: a self-pair there can never re-occur
+        pairs = SpawnPairSet([_pair(0, 0)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+        assert stats.spawns == 0
+
+    def test_nonexistent_pcs(self, loop_trace, mode):
+        pairs = SpawnPairSet([_pair(99_999, 88_888)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+        assert stats.spawns == 0
+
+    def test_backwards_pair(self, loop_trace, mode):
+        # CQIP textually before the SP: only reachable on the next
+        # iteration — legal, possibly useful, must not break anything
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head + 2, head)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+
+    def test_dense_overlapping_pairs(self, loop_trace, mode):
+        # a pair on every pc of the loop body: maximal contention
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet(
+            [_pair(head + k, head + k, dist=10.0) for k in range(6)]
+        )
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+
+    def test_zero_distance_estimate(self, loop_trace, mode):
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head, head, dist=0.0)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(spawn_order_check=mode)
+        )
+        _check_invariants(loop_trace, stats)
+
+
+class TestAdversarialConfigs:
+    def test_one_thread_unit_with_pairs(self, loop_trace):
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head, head)])
+        stats = simulate(
+            loop_trace, pairs, ProcessorConfig(num_thread_units=1)
+        )
+        _check_invariants(loop_trace, stats)
+        assert stats.spawns == 0  # the only unit is always busy
+
+    def test_tiny_rob_and_widths(self, loop_trace):
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head, head)])
+        stats = simulate(
+            loop_trace,
+            pairs,
+            ProcessorConfig(rob_size=2, fetch_width=1, issue_width=1),
+        )
+        _check_invariants(loop_trace, stats)
+
+    def test_huge_overheads(self, loop_trace):
+        head = min(loop_trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head, head)])
+        stats = simulate(
+            loop_trace,
+            pairs,
+            ProcessorConfig(init_overhead=500, spawn_cost=50, commit_latency=50),
+        )
+        _check_invariants(loop_trace, stats)

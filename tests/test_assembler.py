@@ -1,0 +1,86 @@
+"""Assembler/disassembler tests, including a round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Opcode, ProgramBuilder, assemble, disassemble
+from repro.isa.assembler import AssemblerError
+
+
+def _signature(program):
+    return [
+        (inst.op, inst.dst, inst.srcs, inst.imm, inst.target)
+        for inst in program
+    ]
+
+
+class TestAssemble:
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble(
+            "start: li r1 2\nloop: addi r1 r1 -1\nbnez r1 loop\n"
+            "beqz r1 done\ndone: halt"
+        )
+        assert program.labels["loop"] == 1
+        assert program[2].target == 1
+        assert program[3].target == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("; header\n\nli r1 1 ; trailing\nhalt\n")
+        assert len(program) == 2
+
+    def test_store_has_no_destination(self):
+        program = assemble("store r2 r1 4\nhalt")
+        assert program[0].dst is None
+        assert program[0].srcs == (2, 1)
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("addi r1 r1 -5\nandi r2 r2 0xff\nhalt")
+        assert program[0].imm == -5
+        assert program[1].imm == 255
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1 r2",
+            "jump nowhere\nhalt",
+            "1bad: halt",
+            "li r1 1 2\nhalt",
+            "dup: nop\ndup: halt",
+        ],
+    )
+    def test_malformed_input_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad)
+
+
+class TestRoundTrip:
+    def test_hand_written_round_trip(self):
+        program = assemble(
+            "main: li r1 10\nloop: addi r1 r1 -1\ncall f\nbnez r1 loop\nhalt\n"
+            "f: load r2 r1 8\nstore r2 r1 9\nret"
+        )
+        again = assemble(disassemble(program))
+        assert _signature(program) == _signature(again)
+
+    @given(
+        trips=st.integers(min_value=1, max_value=5),
+        imm=st.integers(min_value=-100, max_value=100),
+        use_call=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_builder_programs_round_trip(self, trips, imm, use_call):
+        b = ProgramBuilder()
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, imm)
+        with b.for_range(i, 0, trips):
+            b.add(acc, acc, i)
+            if use_call:
+                b.call("helper")
+        b.halt()
+        if use_call:
+            with b.function("helper"):
+                b.addi(acc, acc, 1)
+        program = b.build()
+        again = assemble(disassemble(program))
+        assert _signature(program) == _signature(again)

@@ -1,0 +1,183 @@
+"""ProgramBuilder structured-construction tests (semantics via execution)."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa import Opcode, ProgramBuilder
+from repro.isa.builder import ARG_REGS, RV_REG
+
+
+def _final(trace, reg):
+    return trace.value_of_register_at(reg, len(trace))
+
+
+class TestRegisters:
+    def test_named_registers_are_stable(self):
+        b = ProgramBuilder()
+        assert b.reg("x") == b.reg("x")
+        assert b.reg("x") != b.reg("y")
+
+    def test_temps_are_fresh(self):
+        b = ProgramBuilder()
+        assert b.temp() != b.temp()
+
+    def test_pool_exhaustion_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(RuntimeError):
+            for _ in range(100):
+                b.temp()
+
+
+class TestDataAllocation:
+    def test_alloc_is_disjoint(self):
+        b = ProgramBuilder()
+        a1 = b.alloc(10)
+        a2 = b.alloc(5)
+        assert a2 >= a1 + 10
+
+    def test_alloc_data_initialises_memory(self):
+        b = ProgramBuilder()
+        base = b.alloc_data([7, 8, 9])
+        x = b.reg("x")
+        b.li(x, base)
+        b.load(x, x, 2)
+        b.halt()
+        trace = run_program(b.build())
+        assert _final(trace, x) == 9
+
+
+class TestControlFlow:
+    def test_for_range_sums(self):
+        b = ProgramBuilder()
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, 0)
+        with b.for_range(i, 0, 10):
+            b.add(acc, acc, i)
+        b.halt()
+        assert _final(run_program(b.build()), acc) == sum(range(10))
+
+    def test_for_range_zero_trip(self):
+        b = ProgramBuilder()
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, 5)
+        with b.for_range(i, 3, 3):
+            b.li(acc, 99)
+        b.halt()
+        assert _final(run_program(b.build()), acc) == 5
+
+    def test_for_range_negative_step(self):
+        b = ProgramBuilder()
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, 0)
+        with b.for_range(i, 5, 0, step=-1):
+            b.addi(acc, acc, 1)
+        b.halt()
+        assert _final(run_program(b.build()), acc) == 5
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        i, j, acc = b.reg("i"), b.reg("j"), b.reg("acc")
+        b.li(acc, 0)
+        with b.for_range(i, 0, 4):
+            with b.for_range(j, 0, 3):
+                b.addi(acc, acc, 1)
+        b.halt()
+        assert _final(run_program(b.build()), acc) == 12
+
+    def test_while_loop(self):
+        b = ProgramBuilder()
+        x, lim = b.reg("x"), b.reg("lim")
+        b.li(x, 0)
+        b.li(lim, 7)
+        with b.while_(Opcode.BLT, (x, lim)):
+            b.addi(x, x, 2)
+        b.halt()
+        assert _final(run_program(b.build()), x) == 8
+
+    def test_if_taken_and_not_taken(self):
+        b = ProgramBuilder()
+        x, y = b.reg("x"), b.reg("y")
+        b.li(x, 1)
+        b.li(y, 0)
+        with b.if_(Opcode.BNEZ, (x,)):
+            b.addi(y, y, 10)
+        with b.if_(Opcode.BEQZ, (x,)):
+            b.addi(y, y, 100)
+        b.halt()
+        assert _final(run_program(b.build()), y) == 10
+
+    def test_if_else_branches(self):
+        for selector, expected in ((0, 222), (1, 111)):
+            b = ProgramBuilder()
+            x, y = b.reg("x"), b.reg("y")
+            b.li(x, selector)
+            b.if_else(
+                Opcode.BNEZ,
+                (x,),
+                lambda: b.li(y, 111),
+                lambda: b.li(y, 222),
+            )
+            b.halt()
+            assert _final(run_program(b.build()), y) == expected
+
+    def test_loop_lowering_produces_backward_branch(self):
+        b = ProgramBuilder()
+        i = b.reg("i")
+        with b.for_range(i, 0, 3):
+            b.nop()
+        b.halt()
+        program = b.build()
+        assert program.backward_branch_pcs()
+        assert program.loop_heads()
+
+
+class TestFunctions:
+    def test_call_and_return_value(self):
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.li(ARG_REGS[0], 20)
+        b.call("inc")
+        b.mov(x, RV_REG)
+        b.halt()
+        with b.function("inc"):
+            b.addi(RV_REG, ARG_REGS[0], 1)
+        trace = run_program(b.build())
+        assert _final(trace, x) == 21
+
+    def test_function_before_halt_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(RuntimeError):
+            with b.function("f"):
+                b.nop()
+
+    def test_implicit_ret_appended(self):
+        b = ProgramBuilder()
+        b.call("f")
+        b.halt()
+        with b.function("f"):
+            b.nop()
+        program = b.build()
+        assert program.instructions[-1].op is Opcode.RET
+
+
+class TestLabelHygiene:
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("spot")
+        with pytest.raises(ValueError):
+            b.label("spot")
+
+    def test_undefined_label_rejected_at_build(self):
+        b = ProgramBuilder()
+        b.jump("nowhere")
+        b.halt()
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_build_validates_targets(self):
+        b = ProgramBuilder()
+        i = b.reg("i")
+        with b.for_range(i, 0, 2):
+            b.nop()
+        b.halt()
+        b.build().validate()  # must not raise

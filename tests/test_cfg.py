@@ -1,0 +1,59 @@
+"""Dynamic CFG construction tests."""
+
+from repro.exec import run_program
+from repro.isa import assemble
+from repro.profiling import ControlFlowGraph
+
+
+def _cfg(text):
+    trace = run_program(assemble(text))
+    return trace, ControlFlowGraph.from_trace(trace)
+
+
+class TestBlockDiscovery:
+    def test_straightline_program_is_one_block(self):
+        trace, cfg = _cfg("li r1 1\naddi r1 r1 1\nhalt")
+        assert len(cfg) == 1
+        assert cfg.blocks[0].size == 3
+        assert cfg.blocks[0].count == 1
+
+    def test_loop_splits_blocks(self):
+        trace, cfg = _cfg(
+            "li r1 3\nloop: addi r1 r1 -1\nbnez r1 loop\nhalt"
+        )
+        heads = {blk.start_pc for blk in cfg.blocks}
+        assert 1 in heads  # loop head is a leader
+        assert 3 in heads  # fall-through after the branch
+        loop_block = cfg.blocks[cfg.block_of_pc(1)]
+        assert loop_block.count == 3
+
+    def test_sequence_tiles_the_trace(self, loop_trace):
+        cfg = ControlFlowGraph.from_trace(loop_trace)
+        covered = 0
+        for k, (bid, start) in enumerate(cfg.sequence):
+            assert start == covered
+            covered += cfg.blocks[bid].size if k < len(cfg.sequence) else 0
+            # recompute: the next block must start exactly after this one
+            covered = start + cfg.blocks[bid].size
+        assert covered == len(loop_trace)
+
+    def test_counts_match_sequence(self, loop_trace):
+        cfg = ControlFlowGraph.from_trace(loop_trace)
+        from collections import Counter
+
+        seq_counts = Counter(bid for bid, _ in cfg.sequence)
+        for blk in cfg.blocks:
+            assert blk.count == seq_counts[blk.bid]
+
+    def test_edges_weighted_by_transitions(self):
+        trace, cfg = _cfg("li r1 3\nloop: addi r1 r1 -1\nbnez r1 loop\nhalt")
+        loop_bid = cfg.block_of_pc(1)
+        assert cfg.edges[(loop_bid, loop_bid)] == 2  # two back-to-back iterations
+
+    def test_edge_weights_sum_to_transitions(self, loop_trace):
+        cfg = ControlFlowGraph.from_trace(loop_trace)
+        assert sum(cfg.edges.values()) == len(cfg.sequence) - 1
+
+    def test_total_instructions(self, loop_trace):
+        cfg = ControlFlowGraph.from_trace(loop_trace)
+        assert cfg.total_instructions == len(loop_trace)

@@ -1,0 +1,80 @@
+"""CLI smoke and behaviour tests."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["trace", "quake"])
+
+
+class TestCommands:
+    def test_workloads_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("go", "compress", "vortex"):
+            assert name in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace", "compress", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic length" in out
+        assert "loop heads" in out
+
+    def test_disasm_is_assembly(self, capsys):
+        assert main(["disasm", "compress", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out and "load" in out
+
+    def test_pairs_and_save(self, capsys, tmp_path):
+        path = tmp_path / "pairs.json"
+        assert main([
+            "pairs", "compress", "--scale", "0.1", "--save", str(path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spawning points" in out
+        assert path.exists()
+
+    def test_simulate_reports_speedup(self, capsys):
+        assert main(["simulate", "compress", "--scale", "0.1", "--tus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "cycles" in out
+
+    def test_simulate_from_saved_pairs(self, capsys, tmp_path):
+        path = tmp_path / "pairs.json"
+        main(["pairs", "compress", "--scale", "0.1", "--save", str(path)])
+        capsys.readouterr()
+        assert main([
+            "simulate", "compress", "--scale", "0.1", "--load", str(path)
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_simulate_heuristics_policy(self, capsys):
+        assert main([
+            "simulate", "compress", "--scale", "0.1",
+            "--policy", "heuristics", "--vp", "stride",
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_timeline_renders_gantt(self, capsys):
+        assert main([
+            "timeline", "compress", "--scale", "0.1", "--tus", "4",
+            "--width", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TU00" in out and "=" in out
+
+    def test_figure_unknown_name(self, capsys):
+        assert main(["figure", "figure99"]) == 2
+
+    def test_figure_runs_tiny_scale(self, capsys):
+        assert main(["figure", "figure2", "--scale", "0.1"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Pair dependence/predictability profiling tests."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa import ProgramBuilder
+from repro.profiling import profile_pair_dependences
+from repro.profiling.dependence import _stride_hit_rates
+
+
+@pytest.fixture(scope="module")
+def mixed_loop():
+    """Loop whose body has one loop-carried register and independent work."""
+    b = ProgramBuilder()
+    i, chain, free, addr = b.reg("i"), b.reg("chain"), b.reg("free"), b.reg("a")
+    base = b.alloc_data(range(50))
+    b.li(chain, 1)
+    head_marker = len(b._instructions)
+    with b.for_range(i, 0, 40):
+        b.mul(chain, chain, chain)  # depends on previous iteration
+        b.andi(chain, chain, 255)
+        b.li(free, 7)  # independent chunk
+        b.addi(free, free, 3)
+        b.li(addr, base)
+        b.load(free, addr, 5)
+    b.halt()
+    trace = run_program(b.build())
+    head = min(trace.program.loop_heads())
+    del head_marker
+    return trace, head
+
+
+class TestPairDependences:
+    def test_detects_independent_and_dependent_instructions(self, mixed_loop):
+        trace, head = mixed_loop
+        profile = profile_pair_dependences(
+            trace, head, head, thread_length=8, max_samples=6
+        )
+        assert profile.samples > 0
+        assert 0 < profile.avg_independent < profile.avg_thread_instructions
+
+    def test_counter_livein_is_stride_predictable(self, mixed_loop):
+        trace, head = mixed_loop
+        profile = profile_pair_dependences(
+            trace, head, head, thread_length=8, max_samples=8
+        )
+        # the loop counter advances by 1 per iteration -> predictable,
+        # so predictable-or-independent must dominate plain independent
+        assert (
+            profile.avg_predictable_or_independent >= profile.avg_independent
+        )
+
+    def test_missing_pair_yields_empty_profile(self, mixed_loop):
+        trace, head = mixed_loop
+        profile = profile_pair_dependences(
+            trace, 9999, 9998, thread_length=8
+        )
+        assert profile.samples == 0
+        assert profile.avg_thread_instructions == 0.0
+
+
+class TestStrideHitRates:
+    def test_constant_sequence_fully_predictable(self):
+        rates = _stride_hit_rates({5: [7, 7, 7, 7, 7]})
+        assert rates[5] == 1.0
+
+    def test_arithmetic_sequence_fully_predictable(self):
+        rates = _stride_hit_rates({5: [3, 6, 9, 12, 15]})
+        assert rates[5] == 1.0
+
+    def test_random_sequence_poorly_predictable(self):
+        rates = _stride_hit_rates({5: [3, 17, 5, 90, 2, 44, 8]})
+        assert rates[5] < 0.5
+
+    def test_short_history_falls_back_to_last_value(self):
+        assert _stride_hit_rates({1: [4, 4]})[1] == 1.0
+        assert _stride_hit_rates({1: [4, 5]})[1] == 0.0
+
+    def test_non_integer_values_skipped(self):
+        rates = _stride_hit_rates({2: [1.5, 2.5, 3.5, 9]})
+        assert 0.0 <= rates[2] <= 1.0

@@ -1,0 +1,100 @@
+"""Traditional-heuristic spawning-pair tests."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa import ProgramBuilder
+from repro.spawning import (
+    HeuristicConfig,
+    PairKind,
+    heuristic_pairs,
+    loop_continuation_pairs,
+    loop_iteration_pairs,
+    subroutine_continuation_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def structured_trace():
+    """One loop calling one function: all three constructs present."""
+    b = ProgramBuilder()
+    i, x = b.reg("i"), b.reg("x")
+    from repro.isa.builder import ARG_REGS, RV_REG
+
+    b.li(x, 0)
+    with b.for_range(i, 0, 20):
+        b.mov(ARG_REGS[0], i)
+        b.call("work")
+        b.add(x, x, RV_REG)
+        for _ in range(6):
+            b.addi(x, x, 1)
+    b.halt()
+    with b.function("work"):
+        b.addi(RV_REG, ARG_REGS[0], 2)
+        for _ in range(8):
+            b.nop()
+    return run_program(b.build())
+
+
+class TestIndividualSchemes:
+    def test_loop_iteration_pairs_found(self, structured_trace):
+        pairs = loop_iteration_pairs(structured_trace, HeuristicConfig())
+        assert pairs
+        for pair in pairs:
+            assert pair.sp_pc == pair.cqip_pc
+            assert pair.kind is PairKind.LOOP_ITERATION
+            assert pair.reach_probability > 0.5
+
+    def test_loop_continuation_targets_fallthrough(self, structured_trace):
+        pairs = loop_continuation_pairs(structured_trace, HeuristicConfig())
+        program = structured_trace.program
+        for pair in pairs:
+            assert pair.kind is PairKind.LOOP_CONTINUATION
+            # CQIP follows some backward branch closing a loop headed at SP
+            assert any(
+                program[bpc].target == pair.sp_pc and bpc + 1 == pair.cqip_pc
+                for bpc in program.backward_branch_pcs()
+            )
+
+    def test_subroutine_continuation_at_call_sites(self, structured_trace):
+        pairs = subroutine_continuation_pairs(structured_trace, HeuristicConfig())
+        call_sites = set(structured_trace.program.call_sites())
+        assert pairs
+        for pair in pairs:
+            assert pair.sp_pc in call_sites
+            assert pair.cqip_pc == pair.sp_pc + 1
+            assert pair.reach_probability == pytest.approx(1.0)
+
+
+class TestCombined:
+    def test_union_deduplicates(self, structured_trace):
+        combined = heuristic_pairs(structured_trace)
+        keys = [p.key() for p in combined.all_pairs()]
+        assert len(keys) == len(set(keys))
+
+    def test_kind_priority_orders_alternatives(self, structured_trace):
+        combined = heuristic_pairs(structured_trace)
+        for sp_pc in combined.spawning_points():
+            alts = combined.alternatives(sp_pc)
+            kinds = [p.kind for p in alts]
+            if PairKind.LOOP_ITERATION in kinds:
+                assert alts[0].kind is PairKind.LOOP_ITERATION
+
+    def test_min_distance_filters_small_constructs(self, structured_trace):
+        strict = heuristic_pairs(
+            structured_trace, HeuristicConfig(min_distance=10_000)
+        )
+        assert len(strict.all_pairs()) == 0
+
+    def test_scheme_toggles(self, structured_trace):
+        only_calls = heuristic_pairs(
+            structured_trace,
+            HeuristicConfig(
+                include_loop_iterations=False,
+                include_loop_continuations=False,
+            ),
+        )
+        assert all(
+            p.kind is PairKind.SUBROUTINE_CONTINUATION
+            for p in only_calls.all_pairs()
+        )

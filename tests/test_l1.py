@@ -1,0 +1,91 @@
+"""L1 cache model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import L1Cache
+
+
+def _cache(**kw):
+    defaults = dict(size_kb=1, assoc=2, block_words=8,
+                    hit_latency=3, miss_latency=8)
+    defaults.update(kw)
+    return L1Cache(**defaults)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert c.access(0) == 8
+        assert c.access(0) == 3
+
+    def test_same_block_hits(self):
+        c = _cache()
+        c.access(0)
+        for word in range(1, 8):
+            assert c.access(word) == 3
+
+    def test_different_block_misses(self):
+        c = _cache()
+        c.access(0)
+        assert c.access(8) == 8
+
+    def test_contains(self):
+        c = _cache()
+        assert not c.contains(5)
+        c.access(5)
+        assert c.contains(5)
+
+    def test_miss_rate(self):
+        c = _cache()
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == 0.5
+
+
+class TestLru:
+    def test_eviction_in_lru_order(self):
+        c = _cache(size_kb=1, assoc=2)  # 16 blocks, 8 sets
+        n_sets = c.n_sets
+        stride = n_sets * 8  # same set, different tags
+        c.access(0)
+        c.access(stride)
+        c.access(0)  # refresh block 0
+        c.access(2 * stride)  # evicts `stride`, not 0
+        assert c.contains(0)
+        assert not c.contains(stride)
+
+    def test_paper_geometry(self):
+        c = L1Cache(size_kb=32, assoc=2, block_words=8)
+        assert c.n_sets == 512
+
+    @pytest.mark.parametrize(
+        "kw",
+        [dict(size_kb=0), dict(assoc=0), dict(block_words=0),
+         dict(size_kb=1, assoc=3)],
+    )
+    def test_bad_geometry_rejected(self, kw):
+        with pytest.raises(ValueError):
+            _cache(**kw)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=4000), min_size=1,
+                    max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_access_always_hits(self, addrs):
+        c = _cache(size_kb=4)
+        for addr in addrs:
+            c.access(addr)
+            assert c.access(addr) == c.hit_latency
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_set_occupancy_never_exceeds_assoc(self, addrs):
+        c = _cache()
+        for addr in addrs:
+            c.access(addr, is_store=bool(addr & 1))
+        for ways in c._sets:
+            assert len(ways) <= c.assoc

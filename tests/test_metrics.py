@@ -1,0 +1,42 @@
+"""Mean-aggregation helpers."""
+
+import pytest
+
+from repro.metrics import arithmetic_mean, geometric_mean, harmonic_mean
+
+
+class TestHarmonic:
+    def test_known_value(self):
+        assert harmonic_mean([1, 2, 4]) == pytest.approx(12 / 7)
+
+    def test_constant_sequence(self):
+        assert harmonic_mean([5, 5, 5]) == pytest.approx(5)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([0.1, 100]) < arithmetic_mean([0.1, 100])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1, 0])
+        with pytest.raises(ValueError):
+            harmonic_mean([2, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+
+class TestOthers:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+    def test_geometric(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_ordering_of_means(self):
+        data = [1.5, 3.0, 7.0]
+        assert harmonic_mean(data) <= geometric_mean(data) <= arithmetic_mean(data)

@@ -1,0 +1,92 @@
+"""The CQIP-ordering criteria must rank candidates differently.
+
+A crafted loop gives one spawning point two CQIP candidates: a *near*
+block whose downstream code is fully independent of the spawn region, and
+a *far* block whose downstream code consumes a value the spawn region
+computes.  Criterion (a) (distance) must prefer the far block; criterion
+(b) (independence) must prefer the near one.
+"""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa import Opcode, ProgramBuilder
+from repro.spawning import ProfilePolicyConfig, select_profile_pairs
+
+
+@pytest.fixture(scope="module")
+def crafted():
+    b = ProgramBuilder("ordering")
+    i, x = b.reg("i"), b.reg("x")
+    free1, free2 = b.reg("f1"), b.reg("f2")
+    y = b.reg("y")
+    b.li(x, 3)
+    with b.for_range(i, 0, 60):
+        # spawn region: a serial chain computing x (the loop head block)
+        for _ in range(6):
+            b.mul(x, x, x)
+            b.andi(x, x, 255)
+        b.jump("near")  # force a block leader
+        b.label("near")
+        # near CQIP: completely self-contained work
+        for k in range(6):
+            b.li(free1, k + 1)
+            b.addi(free2, free1, 2)
+        b.jump("far")
+        b.label("far")
+        # far CQIP: every instruction consumes x
+        b.mov(y, x)
+        for _ in range(5):
+            b.add(y, y, x)
+            b.xor(y, y, x)
+        b.jump("wrap")
+        b.label("wrap")
+        b.nop()
+    b.halt()
+    trace = run_program(b.build())
+    head = min(trace.program.loop_heads())
+    near = trace.program.labels["near"]
+    far = trace.program.labels["far"]
+    return trace, head, near, far
+
+
+def _rank(pairs, sp, cqip):
+    alts = pairs.alternatives(sp)
+    for index, pair in enumerate(alts):
+        if pair.cqip_pc == cqip:
+            return index
+    return None
+
+
+class TestOrderingCriteria:
+    def test_both_candidates_selected(self, crafted):
+        trace, head, near, far = crafted
+        pairs = select_profile_pairs(
+            trace,
+            ProfilePolicyConfig(coverage=1.0, min_distance=8, max_distance=512,
+                                dedupe_mutual_sps=False),
+        )
+        assert _rank(pairs, head, near) is not None
+        assert _rank(pairs, head, far) is not None
+
+    def test_distance_prefers_the_far_cqip(self, crafted):
+        trace, head, near, far = crafted
+        pairs = select_profile_pairs(
+            trace,
+            ProfilePolicyConfig(
+                coverage=1.0, min_distance=8, max_distance=512,
+                ordering="distance", dedupe_mutual_sps=False,
+            ),
+        )
+        assert _rank(pairs, head, far) < _rank(pairs, head, near)
+
+    def test_independence_prefers_the_near_cqip(self, crafted):
+        trace, head, near, far = crafted
+        pairs = select_profile_pairs(
+            trace,
+            ProfilePolicyConfig(
+                coverage=1.0, min_distance=8, max_distance=512,
+                ordering="independent", dedupe_mutual_sps=False,
+            ),
+        )
+        assert _rank(pairs, head, near) < _rank(pairs, head, far)

@@ -1,0 +1,74 @@
+"""Branch-predictor tests."""
+
+import pytest
+
+from repro.predictors.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    make_branch_predictor,
+)
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        p = GsharePredictor(10)
+        for _ in range(8):
+            p.update(100, True)
+        assert p.predict(100) is True
+
+    def test_learns_alternation_through_history(self):
+        p = GsharePredictor(10)
+        outcomes = [bool(i % 2) for i in range(400)]
+        for taken in outcomes:
+            p.update(50, taken)
+        hits = 0
+        for taken in outcomes:
+            hits += p.predict(50) == taken
+            p.update(50, taken)
+        assert hits / len(outcomes) > 0.95
+
+    def test_counters_saturate(self):
+        p = GsharePredictor(4)
+        for _ in range(100):
+            p.update(3, True)
+        for counter in p.counters:
+            assert 0 <= counter <= 3
+
+    def test_hit_accounting(self):
+        p = GsharePredictor(10)
+        p.update(1, True)
+        p.update(1, True)
+        assert p.predictions == 2
+        assert 0.0 <= p.hit_rate <= 1.0
+
+    @pytest.mark.parametrize("bad", [0, 21, -3])
+    def test_bad_history_bits_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GsharePredictor(bad)
+
+
+class TestBimodal:
+    def test_ignores_history(self):
+        p = BimodalPredictor(10)
+        for taken in (True, False, True, False, True, True, True, True):
+            p.update(7, taken)
+        # a per-pc counter converges on the majority direction
+        assert p.predict(7) is True
+
+    def test_distinct_pcs_independent(self):
+        p = BimodalPredictor(10)
+        for _ in range(4):
+            p.update(1, True)
+            p.update(2, False)
+        assert p.predict(1) is True
+        assert p.predict(2) is False
+
+
+class TestFactory:
+    def test_makes_both_kinds(self):
+        assert isinstance(make_branch_predictor("gshare"), GsharePredictor)
+        assert isinstance(make_branch_predictor("bimodal"), BimodalPredictor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_branch_predictor("perceptron")

@@ -1,0 +1,132 @@
+"""Value-predictor tests, including recurrence properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.value import (
+    FCMPredictor,
+    LastValuePredictor,
+    NeverPredictor,
+    PerfectPredictor,
+    StridePredictor,
+    make_value_predictor,
+)
+
+PAIR = (10, 55)
+
+
+class TestStride:
+    def test_cold_table_predicts_nothing(self):
+        p = StridePredictor()
+        assert p.predict(*PAIR, 3, base=7) is None
+
+    def test_locks_stride_after_two_agreeing_deltas(self):
+        p = StridePredictor()
+        p.train(*PAIR, 3, base=0, actual=4)
+        p.train(*PAIR, 3, base=4, actual=8)
+        assert p.predict(*PAIR, 3, base=8) == 12
+
+    def test_single_delta_not_enough(self):
+        p = StridePredictor()
+        p.train(*PAIR, 3, base=0, actual=4)
+        assert p.predict(*PAIR, 3, base=4) is None
+
+    def test_base_anchoring_survives_resets(self):
+        """The increment organisation predicts across sequence resets
+        because the base always comes from the parent."""
+        p = StridePredictor()
+        for base in (0, 1, 2, 5, 6, 0, 1):  # resets mid-stream
+            p.train(*PAIR, 3, base=base, actual=base + 1)
+        assert p.predict(*PAIR, 3, base=100) == 101
+
+    def test_non_integer_values_clear_the_entry(self):
+        p = StridePredictor()
+        p.train(*PAIR, 3, base=0, actual=4)
+        p.train(*PAIR, 3, base=4, actual=8)
+        p.train(*PAIR, 3, base=1.5, actual=2.5)
+        assert p.predict(*PAIR, 3, base=8) is None
+
+    @given(
+        stride=st.integers(min_value=-50, max_value=50),
+        start=st.integers(min_value=-1000, max_value=1000),
+        steps=st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_arithmetic_progression_learned(self, stride, start, steps):
+        p = StridePredictor()
+        value = start
+        for _ in range(steps):
+            p.train(*PAIR, 9, base=value, actual=value + stride)
+            value += stride
+        assert p.predict(*PAIR, 9, base=value) == value + stride
+
+
+class TestLastValueCopy:
+    def test_predicts_the_parents_value(self):
+        p = LastValuePredictor()
+        assert p.predict(*PAIR, 3, base=41) == 41
+
+    def test_training_is_a_noop(self):
+        p = LastValuePredictor()
+        p.train(*PAIR, 3, base=1, actual=99)
+        assert p.predict(*PAIR, 3, base=7) == 7
+
+
+class TestFCM:
+    def test_learns_repeating_pattern(self):
+        p = FCMPredictor()
+        pattern = [3, 1, 4, 1, 5]
+        for _ in range(6):
+            for v in pattern:
+                p.train(*PAIR, 2, base=0, actual=v)
+        # after the history ... 1, 5 the next value is 3
+        hits = 0
+        for expected in pattern:
+            if p.predict(*PAIR, 2, base=0) == expected:
+                hits += 1
+            p.train(*PAIR, 2, base=0, actual=expected)
+        assert hits >= 4
+
+    def test_cold_predicts_nothing(self):
+        assert FCMPredictor().predict(*PAIR, 1, base=0) is None
+
+
+class TestBounds:
+    def test_perfect_and_never_return_none(self):
+        assert PerfectPredictor().predict(*PAIR, 1, base=3) is None
+        assert NeverPredictor().predict(*PAIR, 1, base=3) is None
+
+    def test_accounting(self):
+        p = StridePredictor()
+        p.record(True)
+        p.record(False)
+        assert p.predictions == 2 and p.hits == 1
+        assert p.hit_rate == 0.5
+
+    def test_empty_hit_rate_is_zero(self):
+        assert StridePredictor().hit_rate == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("perfect", PerfectPredictor),
+            ("none", NeverPredictor),
+            ("last", LastValuePredictor),
+            ("stride", StridePredictor),
+            ("fcm", FCMPredictor),
+        ],
+    )
+    def test_factory_names(self, name, cls):
+        assert isinstance(make_value_predictor(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_value_predictor("psychic")
+
+    def test_table_sizing(self):
+        small = StridePredictor(size_kb=1)
+        large = StridePredictor(size_kb=16)
+        assert len(large.strides) > len(small.strides)

@@ -1,0 +1,89 @@
+"""Shape-check report tests."""
+
+from repro.experiments.framework import FigureResult
+from repro.experiments.report import ShapeCheck, render_checklist, run_shape_checks
+
+
+def _fig(figure, benchmarks, series, summary):
+    return FigureResult(
+        figure=figure,
+        title=figure,
+        benchmarks=benchmarks,
+        series=series,
+        summary=summary,
+    )
+
+
+def _synthetic_results(good=True):
+    """A figure set engineered to pass (or fail) every check."""
+    benches = ["go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex"]
+    n = len(benches)
+    sel = [30, 20, 10, 2 if good else 90, 15, 5, 40, 25]
+    speed = [5, 4, 2, 5, 1.5, 12 if good else 1, 5, 6]
+    ratios = [1.5, 0.9, 1.0, 1.1, 0.9, 1.2, 0.95, 1.3] if good else [0.5] * n
+    return {
+        "figure2": _fig(
+            "figure2",
+            benches,
+            {"total_pairs": [100] * n, "selected_pairs": sel},
+            {},
+        ),
+        "figure3": _fig(
+            "figure3", benches, {"speedup": speed}, {"hmean": 4.0 if good else 1.0}
+        ),
+        "figure8": _fig(
+            "figure8", benches, {"profile_over_heuristics": ratios}, {"hmean": 1.1}
+        ),
+        "figure9a": _fig(
+            "figure9a", benches, {}, {"stride_profile": 0.7 if good else 0.1}
+        ),
+        "figure9b": _fig(
+            "figure9b",
+            benches,
+            {},
+            {"perfect_profile": 4.0, "stride_profile": 2.0 if good else 9.0},
+        ),
+        "figure10b": _fig(
+            "figure10b",
+            benches,
+            {},
+            {"distance": 4.0, "independent": 3.0, "predictable": 3.5}
+            if good
+            else {"distance": 1.0, "independent": 3.0, "predictable": 3.5},
+        ),
+        "figure11": _fig(
+            "figure11", benches, {}, {"profile": 0.9 if good else 0.3}
+        ),
+        "figure12": _fig(
+            "figure12", benches, {}, {"perfect_profile": 2.5 if good else 9.0}
+        ),
+        "profile_input_sensitivity": _fig(
+            "ext", benches, {}, {"transfer": 0.9 if good else 0.1}
+        ),
+    }
+
+
+class TestShapeChecks:
+    def test_engineered_pass(self):
+        checks = run_shape_checks(_synthetic_results(good=True))
+        assert all(c.passed for c in checks), [
+            (c.claim, c.observed) for c in checks if not c.passed
+        ]
+
+    def test_engineered_failures_detected(self):
+        checks = run_shape_checks(_synthetic_results(good=False))
+        assert any(not c.passed for c in checks)
+
+    def test_missing_figure_is_a_failed_check(self):
+        checks = run_shape_checks({})
+        assert all(not c.passed for c in checks)
+        assert all("error" in c.observed for c in checks)
+
+    def test_render_checklist_format(self):
+        checks = [
+            ShapeCheck("claim a", True, "x=1"),
+            ShapeCheck("claim b", False, "y=2"),
+        ]
+        text = render_checklist(checks)
+        assert "PASS" in text and "DIVERGES" in text
+        assert text.count("|") >= 12

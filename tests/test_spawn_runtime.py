@@ -1,0 +1,146 @@
+"""Spawn-runtime pair-management tests (removal / reassign plumbing)."""
+
+from repro.cmt import ProcessorConfig
+from repro.cmt.spawn_runtime import SpawnRuntime
+from repro.spawning import PairKind, SpawnPair, SpawnPairSet
+
+
+def _pair(sp, cqip, score=50.0):
+    return SpawnPair(sp, cqip, PairKind.PROFILE, 0.99, score, score)
+
+
+def _runtime(pairs, **config_overrides):
+    return SpawnRuntime(
+        SpawnPairSet(pairs), ProcessorConfig().with_(**config_overrides)
+    )
+
+
+class TestCandidates:
+    def test_best_only_without_reassign(self):
+        rt = _runtime([_pair(1, 2, 10), _pair(1, 3, 99)])
+        assert [p.cqip_pc for p in rt.candidates(1)] == [3]
+
+    def test_all_alternatives_with_reassign(self):
+        rt = _runtime([_pair(1, 2, 10), _pair(1, 3, 99)], reassign=True)
+        assert [p.cqip_pc for p in rt.candidates(1)] == [3, 2]
+
+    def test_non_spawning_point(self):
+        rt = _runtime([_pair(1, 2)])
+        assert not rt.is_spawning_point(7)
+        assert rt.candidates(7) == []
+
+
+class TestAloneRemoval:
+    def test_removed_after_threshold(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50)
+        assert rt.note_alone_threshold(pair) is True
+        assert rt.candidates(1) == []
+        assert rt.removed_alone == 1
+
+    def test_delayed_removal_counts_occurrences(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50, removal_occurrences=3)
+        assert rt.note_alone_threshold(pair) is False
+        assert rt.note_alone_threshold(pair) is False
+        assert rt.note_alone_threshold(pair) is True
+        assert rt.candidates(1) == []
+
+    def test_disabled_when_no_threshold(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair])  # removal_cycles=None
+        assert rt.note_alone_threshold(pair) is False
+        assert rt.candidates(1)
+
+    def test_root_thread_has_no_pair(self):
+        rt = _runtime([_pair(1, 2)], removal_cycles=50)
+        assert rt.note_alone_threshold(None) is False
+
+    def test_removal_unmasks_alternative_under_reassign(self):
+        best, alt = _pair(1, 3, 99), _pair(1, 2, 10)
+        rt = _runtime([best, alt], removal_cycles=50, reassign=True)
+        rt.note_alone_threshold(best)
+        assert [p.cqip_pc for p in rt.candidates(1)] == [2]
+
+
+class TestRevival:
+    """The paper's footnote policy: removed pairs return after a period."""
+
+    def test_pair_revived_after_period(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50, removal_revival_cycles=100)
+        rt.note_alone_threshold(pair, cycle=10)
+        assert rt.candidates(1, cycle=50) == []  # still removed
+        assert [p.cqip_pc for p in rt.candidates(1, cycle=120)] == [2]
+        assert rt.revived == 1
+
+    def test_revived_pair_can_be_removed_again(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50, removal_revival_cycles=100)
+        rt.note_alone_threshold(pair, cycle=0)
+        rt.candidates(1, cycle=200)  # revival
+        assert rt.note_alone_threshold(pair, cycle=210) is True
+        assert rt.candidates(1, cycle=250) == []
+
+    def test_no_revival_by_default(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50)
+        rt.note_alone_threshold(pair, cycle=0)
+        assert rt.candidates(1, cycle=10**9) == []
+
+
+class TestCoactiveThreshold:
+    """The paper's 'executing with just a few threads' removal variant."""
+
+    def test_processor_accepts_coactive_threshold(self, ):
+        from repro.cmt import ProcessorConfig, simulate
+        from repro.exec import run_program
+        from repro.isa import ProgramBuilder
+
+        b = ProgramBuilder()
+        i, acc = b.reg("i"), b.reg("acc")
+        with b.for_range(i, 0, 40):
+            for _ in range(10):
+                b.addi(acc, acc, 1)
+        b.halt()
+        trace = run_program(b.build())
+        head = min(trace.program.loop_heads())
+        pairs = SpawnPairSet([_pair(head, head, 12.0)])
+        gentle = simulate(
+            trace,
+            pairs,
+            ProcessorConfig(removal_cycles=30, removal_coactive_threshold=1),
+        )
+        aggressive = simulate(
+            trace,
+            pairs,
+            ProcessorConfig(removal_cycles=30, removal_coactive_threshold=8),
+        )
+        # a larger threshold can only remove at least as eagerly
+        assert aggressive.pairs_removed_alone >= gentle.pairs_removed_alone
+
+
+class TestMinSizeRemoval:
+    def test_small_threads_remove_their_pair(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], min_thread_size=32)
+        assert rt.note_thread_size(pair, 10) is True
+        assert rt.candidates(1) == []
+        assert rt.removed_min_size == 1
+
+    def test_large_threads_keep_the_pair(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], min_thread_size=32)
+        assert rt.note_thread_size(pair, 64) is False
+        assert rt.candidates(1)
+
+    def test_disabled_without_min_size(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair])
+        assert rt.note_thread_size(pair, 1) is False
+
+    def test_live_pair_count(self):
+        rt = _runtime([_pair(1, 2), _pair(5, 6)], min_thread_size=32)
+        assert rt.live_pair_count() == 2
+        rt.note_thread_size(_pair(1, 2), 1)
+        assert rt.live_pair_count() == 1

@@ -1,0 +1,119 @@
+"""Speculative versioning memory: SVC reference-semantics tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import SpeculativeVersioningMemory, VersioningError
+
+
+def _svc(*threads, backing=None):
+    svc = SpeculativeVersioningMemory(backing=backing)
+    for t in threads:
+        svc.begin_thread(t)
+    return svc
+
+
+class TestVersioning:
+    def test_load_sees_newest_older_version(self):
+        svc = _svc(0, 1, 2)
+        svc.store(0, 100, "v0")
+        svc.store(1, 100, "v1")
+        assert svc.load(2, 100) == "v1"
+        assert svc.load(1, 100) == "v1"
+        assert svc.load(0, 100) == "v0"
+
+    def test_load_falls_back_to_backing(self):
+        svc = _svc(0, backing={4: 42})
+        assert svc.load(0, 4) == 42
+
+    def test_younger_store_invisible_to_older_thread(self):
+        svc = _svc(0, 5)
+        svc.store(5, 7, 99)
+        assert svc.load(0, 7) == 0
+
+
+class TestViolations:
+    def test_late_store_flags_stale_reader(self):
+        svc = _svc(0, 1)
+        svc.load(1, 8)  # reads backing (source -1)
+        violated = svc.store(0, 8, 3)
+        assert violated == {1}
+
+    def test_reader_of_newer_version_not_violated(self):
+        svc = _svc(0, 1, 2)
+        svc.store(1, 8, 10)
+        svc.load(2, 8)  # reads thread 1's version
+        violated = svc.store(0, 8, 77)  # older store can't affect reader
+        assert violated == set()
+
+    def test_own_store_never_violates_self(self):
+        svc = _svc(0)
+        svc.load(0, 8)
+        assert svc.store(0, 8, 1) == set()
+
+
+class TestLifecycle:
+    def test_commit_merges_into_backing(self):
+        svc = _svc(0, 1)
+        svc.store(0, 3, 30)
+        svc.commit(0)
+        assert svc.architectural_value(3) == 30
+        assert svc.load(1, 3) == 30
+
+    def test_commit_must_be_in_order(self):
+        svc = _svc(0, 1)
+        with pytest.raises(VersioningError):
+            svc.commit(1)
+
+    def test_squash_discards_versions_and_reads(self):
+        svc = _svc(0, 1)
+        svc.store(1, 9, 100)
+        svc.squash(1)
+        svc.begin_thread(2)
+        assert svc.load(2, 9) == 0
+        assert svc.version_count(9) == 0
+
+    def test_thread_protocol_errors(self):
+        svc = _svc(0)
+        with pytest.raises(VersioningError):
+            svc.begin_thread(0)  # duplicate
+        with pytest.raises(VersioningError):
+            svc.load(3, 0)  # unknown thread
+        svc.commit(0)
+        with pytest.raises(VersioningError):
+            svc.begin_thread(0)  # behind the committed prefix
+
+    def test_active_threads_view(self):
+        svc = _svc(0, 1)
+        assert svc.active_threads() == {0, 1}
+        svc.commit(0)
+        assert svc.active_threads() == {1}
+
+
+class TestSequentialConsistencyProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # thread
+                st.integers(min_value=0, max_value=4),  # addr
+                st.integers(min_value=1, max_value=99),  # value
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_commit_all_equals_sequential_execution(self, ops):
+        """Storing per-thread then committing in order must equal executing
+        the stores sequentially in thread order."""
+        svc = _svc(0, 1, 2, 3)
+        reference = {}
+        for thread, addr, value in sorted(ops, key=lambda o: o[0]):
+            svc.store(thread, addr, value)
+        for thread, addr, value in sorted(ops, key=lambda o: o[0]):
+            reference[addr] = value
+        for t in range(4):
+            svc.commit(t)
+        for addr, value in reference.items():
+            assert svc.architectural_value(addr) == value

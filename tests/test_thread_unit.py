@@ -1,0 +1,59 @@
+"""Thread-unit resource bookkeeping tests."""
+
+from repro.cmt import ProcessorConfig
+from repro.cmt.thread_unit import ThreadUnit
+from repro.isa.instructions import FuClass
+
+
+def _tu(**overrides):
+    return ThreadUnit(0, ProcessorConfig().with_(**overrides))
+
+
+class TestIssueBooking:
+    def test_issue_width_enforced(self):
+        tu = _tu(issue_width=2)
+        cycles = [tu.book_issue(10, FuClass.SIMPLE_INT) for _ in range(5)]
+        # two per cycle: 10, 10, 11, 11, 12
+        assert sorted(cycles) == [10, 10, 11, 11, 12]
+
+    def test_fu_count_enforced(self):
+        tu = _tu()
+        # only one integer multiplier per unit (paper Section 4.1)
+        first = tu.book_issue(5, FuClass.INT_MUL)
+        second = tu.book_issue(5, FuClass.INT_MUL)
+        assert first == 5
+        assert second == 6
+
+    def test_different_classes_share_issue_width_only(self):
+        tu = _tu(issue_width=4)
+        a = tu.book_issue(7, FuClass.INT_MUL)
+        b = tu.book_issue(7, FuClass.FP_MUL)
+        c = tu.book_issue(7, FuClass.FP_DIV)
+        d = tu.book_issue(7, FuClass.LDST)
+        assert [a, b, c, d] == [7, 7, 7, 7]
+        # the fifth op of the cycle spills over regardless of class
+        assert tu.book_issue(7, FuClass.SIMPLE_INT) == 8
+
+    def test_booking_never_before_earliest(self):
+        tu = _tu()
+        assert tu.book_issue(100, FuClass.SIMPLE_INT) >= 100
+
+    def test_reset_bandwidth_tracking(self):
+        tu = _tu(issue_width=1)
+        tu.book_issue(3, FuClass.SIMPLE_INT)
+        tu.reset_bandwidth_tracking()
+        assert tu.book_issue(3, FuClass.SIMPLE_INT) == 3
+
+
+class TestPerUnitState:
+    def test_fresh_unit_is_free_at_time_zero(self):
+        assert _tu().free_at == 0
+
+    def test_predictor_and_cache_are_per_unit(self):
+        config = ProcessorConfig()
+        a = ThreadUnit(0, config)
+        b = ThreadUnit(1, config)
+        a.gshare.update(5, True)
+        assert b.gshare.predictions == 0
+        a.l1.access(0)
+        assert b.l1.accesses == 0

@@ -1,0 +1,159 @@
+"""Golden-model tests: traced workload results vs Python reference models.
+
+These validate the functional executor and the workload programs together:
+the architectural outcome of the traced run must match an independent
+Python implementation of the same algorithm on the same input data.
+"""
+
+from repro.exec import Machine
+from repro.workloads.generators import dataset_seed, pseudo_random_words
+from repro.workloads.li_wl import _CELL_WORDS, build_li
+from repro.workloads.m88ksim_wl import (
+    _GUEST_REGS,
+    _encode_guest_program,
+    build_m88ksim,
+)
+from repro.workloads.vortex_wl import _REC_WORDS, build_vortex
+
+
+def _run_machine(program, max_steps=2_000_000):
+    machine = Machine(program)
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+class TestLiGolden:
+    def test_tree_sum_matches_python_model(self):
+        """The first tree_sum call must return the Python-side tree sum."""
+        program = build_li(0.1)
+        machine = Machine(program)
+
+        # Reconstruct the Python-side tree.  The heap is the builder's
+        # first allocation (base 0x1000); the roots array follows it.
+        memory = dict(program.initial_memory)
+        from repro.workloads.li_wl import _build_tree
+
+        rng_words = pseudo_random_words(
+            dataset_seed(0x115B, "train"), 512, 0, 1 << 20
+        )
+        from repro.workloads.li_wl import _HEAP_WORDS
+
+        cells, idx = [], 0
+        for _ in range(6):
+            _root, idx = _build_tree(cells, rng_words, idx, 7)
+        roots_base = 0x1000 + _HEAP_WORDS
+
+        def py_tree_sum(cell_addr):
+            tag = memory[cell_addr]
+            if tag == 0:
+                return memory[cell_addr + 1]
+            return py_tree_sum(memory[cell_addr + 1]) + py_tree_sum(
+                memory[cell_addr + 2]
+            )
+
+        expected_first = py_tree_sum(memory[roots_base])
+
+        # Run until the first tree_sum return and read RV.
+        from repro.isa.builder import RV_REG
+        from repro.isa.instructions import Opcode
+
+        entry = program.labels["tree_sum"]
+        depth = 0
+        started = False
+        while True:
+            record = machine.step()
+            if record.op is Opcode.CALL and record.next_pc == entry:
+                depth += 1
+                started = True
+            elif record.op is Opcode.RET and started:
+                depth -= 1
+                if depth == 0:
+                    break
+        assert machine.regs[RV_REG] == expected_first
+
+
+class TestM88ksimGolden:
+    def test_guest_regfile_matches_python_interpreter(self):
+        """The guest register file after the run must equal a direct
+        Python interpretation of the same guest program."""
+        scale = 0.1
+        program = build_m88ksim(scale)
+        machine = _run_machine(program)
+
+        guest_len = 200
+        code = _encode_guest_program(dataset_seed(0x88, "train"), guest_len)
+        regs = pseudo_random_words(dataset_seed(0x88F, "train"), _GUEST_REGS, 0, 100)
+        gmem = pseudo_random_words(dataset_seed(0x88A, "train"), 64, 0, 1000)
+        from repro.workloads.generators import scaled
+
+        n_cycles = scaled(1000, scale)
+
+        def wrap(x):
+            return ((x + (1 << 31)) % (1 << 32)) - (1 << 31)
+
+        gpc = 0
+        for _ in range(n_cycles):
+            word = code[gpc]
+            gop, ra, rb = word >> 12, (word >> 6) & 31, word & 63 & 31
+            if gop == 0:
+                regs[ra] = wrap(regs[ra] + regs[rb])
+            elif gop == 1:
+                regs[ra] = wrap(regs[ra] - regs[rb] + 1)
+            elif gop == 2:
+                regs[ra] = gmem[regs[rb] & 63]
+            elif gop == 3:
+                gmem[regs[rb] & 63] = regs[ra]
+            if gop == 4:
+                counter = (regs[ra] - 1) & 7
+                regs[ra] = counter
+                if counter:
+                    gpc = max(gpc - 7, 0)
+                else:
+                    gpc += 1
+            else:
+                gpc += 1
+            if gpc >= guest_len:
+                gpc = 0
+
+        # locate the guest register file in machine memory
+        regfile_base = None
+        initial = pseudo_random_words(dataset_seed(0x88F, "train"), _GUEST_REGS, 0, 100)
+        for addr, value in program.initial_memory.items():
+            window = [
+                program.initial_memory.get(addr + k) for k in range(_GUEST_REGS)
+            ]
+            if window == initial:
+                regfile_base = addr
+                break
+        assert regfile_base is not None
+        final = [machine.memory.get(regfile_base + k, 0) for k in range(_GUEST_REGS)]
+        assert final == regs
+
+
+class TestVortexGolden:
+    def test_update_counts_bounded_by_transactions(self):
+        """Every committed transaction increments one record's count."""
+        from repro.workloads.generators import scaled
+
+        scale = 0.15
+        program = build_vortex(scale)
+        machine = _run_machine(program)
+        n_txns = scaled(260, scale)
+
+        keys = pseudo_random_words(dataset_seed(0x50B, "train"), 128, 1, 1 << 14)
+        # find record base by matching the first record [key0, 100, 0, 0]
+        rec_base = None
+        for addr, value in program.initial_memory.items():
+            if (
+                value == keys[0]
+                and program.initial_memory.get(addr + 1) == 100
+                and program.initial_memory.get(addr + 2) == 0
+            ):
+                rec_base = addr
+                break
+        assert rec_base is not None
+        total_updates = sum(
+            machine.memory.get(rec_base + ri * _REC_WORDS + 2, 0)
+            for ri in range(128)
+        )
+        assert 0 < total_updates <= n_txns
