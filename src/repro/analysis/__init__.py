@@ -1,0 +1,67 @@
+"""Static program analysis: CFG, dominators, dataflow, lint, validation.
+
+This package analyses :class:`~repro.isa.program.Program` objects without
+executing them — the compile-time counterpart of :mod:`repro.profiling`'s
+trace-driven analyses.  It powers the ``repro lint`` and ``repro
+validate-pairs`` CLI commands and the static pre-filtering of spawning
+pairs in :mod:`repro.spawning`.
+"""
+
+from repro.analysis.cfg import EdgeKind, StaticBlock, StaticCFG
+from repro.analysis.dataflow import (
+    DeadStore,
+    LivenessResult,
+    ReachingDefsResult,
+    UndefinedRead,
+    dead_stores,
+    inst_def,
+    inst_uses,
+    solve_liveness,
+    solve_reaching,
+)
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.dominators import (
+    DominatorTree,
+    NaturalLoop,
+    dominator_tree,
+    natural_loops,
+    postdominator_tree,
+)
+from repro.analysis.lint import LINT_RULES, lint_program
+from repro.analysis.validator import (
+    PairFinding,
+    PairValidationConfig,
+    PairValidationReport,
+    filter_statically_valid,
+    validate_pairs,
+)
+
+__all__ = [
+    "EdgeKind",
+    "StaticBlock",
+    "StaticCFG",
+    "DeadStore",
+    "LivenessResult",
+    "ReachingDefsResult",
+    "UndefinedRead",
+    "dead_stores",
+    "inst_def",
+    "inst_uses",
+    "solve_liveness",
+    "solve_reaching",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "DominatorTree",
+    "NaturalLoop",
+    "dominator_tree",
+    "natural_loops",
+    "postdominator_tree",
+    "LINT_RULES",
+    "lint_program",
+    "PairFinding",
+    "PairValidationConfig",
+    "PairValidationReport",
+    "filter_statically_valid",
+    "validate_pairs",
+]

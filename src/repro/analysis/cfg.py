@@ -1,0 +1,307 @@
+"""Static control-flow graph construction from a :class:`Program`.
+
+Unlike :mod:`repro.profiling.cfg`, which segments an observed dynamic
+instruction stream, this module derives basic blocks and edges purely from
+the program *text* — no trace is needed.  Leaders are pc 0, every valid
+control-transfer target, and the instruction following any control transfer
+or halt; blocks extend from a leader to the next terminator or leader.
+
+Call and return flow is modelled context-insensitively: a ``call`` block
+gets a CALL edge to the callee entry, and every ``ret`` reachable
+intraprocedurally from that entry gets a RETURN edge back to each of the
+entry's call continuations.  The resulting whole-program graph
+over-approximates every dynamically-realisable path, which is exactly what
+the linter and the spawning-pair validator need: anything the static graph
+calls unreachable can never happen at runtime.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+
+class EdgeKind(enum.Enum):
+    """Why control can flow from one static block to another."""
+
+    FALLTHROUGH = "fallthrough"
+    TAKEN = "taken"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+
+
+@dataclass(frozen=True)
+class StaticBlock:
+    """A maximal straight-line instruction range ``[start_pc, end_pc)``."""
+
+    bid: int
+    start_pc: int
+    end_pc: int
+
+    @property
+    def size(self) -> int:
+        return self.end_pc - self.start_pc
+
+    @property
+    def last_pc(self) -> int:
+        return self.end_pc - 1
+
+
+class StaticCFG:
+    """Whole-program static CFG with typed edges and function structure."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.blocks: List[StaticBlock] = []
+        #: leader pc -> block id
+        self.by_pc: Dict[int, int] = {}
+        self.succs: Dict[int, List[Tuple[int, EdgeKind]]] = {}
+        self.preds: Dict[int, List[Tuple[int, EdgeKind]]] = {}
+        #: pcs of control transfers whose target is missing or out of range.
+        self.invalid_targets: List[int] = []
+        #: block ids whose fallthrough would leave the program text.
+        self.falls_off_end: Set[int] = set()
+        #: callee entry pc -> block ids intraprocedurally reachable from it.
+        self.function_blocks: Dict[int, Set[int]] = {}
+        #: callee entry pc -> ret-terminated block ids of that function.
+        self.function_rets: Dict[int, List[int]] = {}
+        self._starts: List[int] = []
+        self._build()
+        self._reachable: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        program = self.program
+        n = len(program)
+        if n == 0:
+            raise ValueError("cannot build a static CFG of an empty program")
+
+        leaders = {0}
+        for pc, inst in enumerate(program):
+            if inst.is_control or inst.op is Opcode.HALT:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                target = inst.target
+                if inst.is_control and inst.op is not Opcode.RET:
+                    if target is not None and 0 <= target < n:
+                        leaders.add(target)
+                    else:
+                        self.invalid_targets.append(pc)
+
+        starts = sorted(leaders)
+        self._starts = starts
+        for bid, start in enumerate(starts):
+            end = starts[bid + 1] if bid + 1 < len(starts) else n
+            self.blocks.append(StaticBlock(bid=bid, start_pc=start, end_pc=end))
+            self.by_pc[start] = bid
+        self.succs = {b.bid: [] for b in self.blocks}
+        self.preds = {b.bid: [] for b in self.blocks}
+
+        for block in self.blocks:
+            self._add_block_edges(block)
+        self._add_return_edges()
+
+    def _add_edge(self, src: int, dst_pc: int, kind: EdgeKind) -> None:
+        dst = self.by_pc[dst_pc]
+        self.succs[src].append((dst, kind))
+        self.preds[dst].append((src, kind))
+
+    def _add_block_edges(self, block: StaticBlock) -> None:
+        n = len(self.program)
+        term = self.program[block.last_pc]
+        op = term.op
+        valid_target = (
+            term.target is not None and 0 <= term.target < n
+        )
+        if op in (Opcode.HALT, Opcode.RET):
+            return
+        if op is Opcode.JUMP:
+            if valid_target:
+                self._add_edge(block.bid, term.target, EdgeKind.JUMP)
+            return
+        if op is Opcode.CALL:
+            if valid_target:
+                self._add_edge(block.bid, term.target, EdgeKind.CALL)
+            # The continuation edge is added from the callee's rets.
+            return
+        if term.is_branch:
+            if valid_target:
+                self._add_edge(block.bid, term.target, EdgeKind.TAKEN)
+            if block.end_pc < n:
+                self._add_edge(block.bid, block.end_pc, EdgeKind.FALLTHROUGH)
+            else:
+                self.falls_off_end.add(block.bid)
+            return
+        # Plain block split by a following leader (or the program end).
+        if block.end_pc < n:
+            self._add_edge(block.bid, block.end_pc, EdgeKind.FALLTHROUGH)
+        else:
+            self.falls_off_end.add(block.bid)
+
+    def _add_return_edges(self) -> None:
+        """Wire every callee ``ret`` to each of its call continuations."""
+        program = self.program
+        n = len(program)
+        call_sites: Dict[int, List[int]] = {}
+        for pc, inst in enumerate(program):
+            if inst.op is Opcode.CALL and inst.target is not None:
+                if 0 <= inst.target < n:
+                    call_sites.setdefault(inst.target, []).append(pc)
+
+        for entry in call_sites:
+            body, rets = self._intraprocedural_walk(entry)
+            self.function_blocks[entry] = body
+            self.function_rets[entry] = rets
+
+        for entry, sites in call_sites.items():
+            for ret_bid in self.function_rets[entry]:
+                for call_pc in sites:
+                    if call_pc + 1 < n:
+                        self._add_edge(
+                            ret_bid, call_pc + 1, EdgeKind.RETURN
+                        )
+
+    def _intraprocedural_walk(self, entry_pc: int) -> Tuple[Set[int], List[int]]:
+        """Blocks and ret blocks reachable from ``entry_pc`` within one
+        function (calls are stepped over to their continuation)."""
+        n = len(self.program)
+        start = self.by_pc[entry_pc]
+        seen = {start}
+        stack = [start]
+        rets: List[int] = []
+        while stack:
+            bid = stack.pop()
+            block = self.blocks[bid]
+            term = self.program[block.last_pc]
+            nexts: List[int] = []
+            if term.op is Opcode.RET:
+                rets.append(bid)
+            elif term.op is Opcode.CALL:
+                if block.end_pc < n:
+                    nexts.append(self.by_pc[block.end_pc])
+            else:
+                nexts = [
+                    dst
+                    for dst, kind in self.succs[bid]
+                    if kind is not EdgeKind.RETURN
+                ]
+            for dst in nexts:
+                if dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return seen, rets
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def entry(self) -> int:
+        """Block id of the program entry (pc 0)."""
+        return self.by_pc[0]
+
+    def block_containing(self, pc: int) -> StaticBlock:
+        """The block whose range covers ``pc`` (ValueError if outside)."""
+        if not 0 <= pc < len(self.program):
+            raise ValueError(f"pc {pc} outside program")
+        idx = bisect.bisect_right(self._starts, pc) - 1
+        return self.blocks[idx]
+
+    def leader_pcs(self) -> List[int]:
+        return list(self._starts)
+
+    def successors(self, bid: int) -> List[int]:
+        """Successor block ids over every edge kind (deduplicated)."""
+        seen: List[int] = []
+        for dst, _kind in self.succs[bid]:
+            if dst not in seen:
+                seen.append(dst)
+        return seen
+
+    def predecessors(self, bid: int) -> List[int]:
+        seen: List[int] = []
+        for src, _kind in self.preds[bid]:
+            if src not in seen:
+                seen.append(src)
+        return seen
+
+    def reachable_blocks(self) -> Set[int]:
+        """Block ids reachable from the entry over every edge kind."""
+        if self._reachable is None:
+            seen = {self.entry}
+            stack = [self.entry]
+            while stack:
+                bid = stack.pop()
+                for dst in self.successors(bid):
+                    if dst not in seen:
+                        seen.add(dst)
+                        stack.append(dst)
+            self._reachable = seen
+        return self._reachable
+
+    def reachable_from(self, bid: int) -> Set[int]:
+        """Block ids reachable from ``bid`` (excluding ``bid`` itself unless
+        it lies on a cycle)."""
+        seen: Set[int] = set()
+        stack = [dst for dst in self.successors(bid)]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.successors(cur))
+        return seen
+
+    def shortest_distance(self, sp_pc: int, cqip_pc: int) -> Optional[float]:
+        """Minimum static instruction count from ``sp_pc`` to ``cqip_pc``.
+
+        Counts instructions executed starting at the SP (inclusive) until
+        control first arrives at the CQIP (exclusive) — the static
+        counterpart of the dynamic ``cqip_pos - sp_pos`` distance.  Returns
+        ``None`` when no static path exists.  ``sp_pc == cqip_pc`` measures
+        the shortest cycle through the pc.
+        """
+        import heapq
+
+        sp_block = self.block_containing(sp_pc)
+        cq_block = self.block_containing(cqip_pc)
+        direct: Optional[int] = None
+        if sp_block.bid == cq_block.bid and cqip_pc > sp_pc:
+            direct = cqip_pc - sp_pc
+
+        # Dijkstra over blocks; dist[b] = instructions from the SP until
+        # control enters block b.
+        dist: Dict[int, int] = {}
+        head = sp_block.end_pc - sp_pc
+        heap: List[Tuple[int, int]] = []
+        for dst in self.successors(sp_block.bid):
+            if dst not in dist or head < dist[dst]:
+                dist[dst] = head
+                heapq.heappush(heap, (head, dst))
+        while heap:
+            d, bid = heapq.heappop(heap)
+            if d > dist.get(bid, float("inf")):
+                continue
+            nd = d + self.blocks[bid].size
+            for dst in self.successors(bid):
+                if nd < dist.get(dst, float("inf")):
+                    dist[dst] = nd
+                    heapq.heappush(heap, (nd, dst))
+
+        via_graph: Optional[int] = None
+        if cq_block.bid in dist:
+            via_graph = dist[cq_block.bid] + (cqip_pc - cq_block.start_pc)
+        candidates = [c for c in (direct, via_graph) if c is not None]
+        return float(min(candidates)) if candidates else None

@@ -1,0 +1,243 @@
+"""Iterative dataflow over the static CFG: liveness and reaching definitions.
+
+Both analyses run on the whole-program graph (call and return edges
+included), which makes them context-insensitive but sound: values passed to
+subroutines through the argument registers flow into the callee, and values
+produced for the caller flow back through the return edges.  Register 0 is
+hardwired zero and excluded everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import StaticCFG
+from repro.isa.instructions import Instruction
+
+
+def inst_def(inst: Instruction) -> Optional[int]:
+    """Register defined by ``inst`` (None for stores, branches, r0)."""
+    if inst.dst is None or inst.dst == 0:
+        return None
+    return inst.dst
+
+
+def inst_uses(inst: Instruction) -> Tuple[int, ...]:
+    """Registers read by ``inst`` (r0 excluded)."""
+    return tuple(reg for reg in inst.srcs if reg != 0)
+
+
+class LivenessResult:
+    """Per-block live-in/live-out register sets plus per-pc queries."""
+
+    def __init__(
+        self,
+        cfg: StaticCFG,
+        live_in: Dict[int, FrozenSet[int]],
+        live_out: Dict[int, FrozenSet[int]],
+    ):
+        self.cfg = cfg
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_before(self, pc: int) -> FrozenSet[int]:
+        """Registers live immediately before executing ``pc``."""
+        block = self.cfg.block_containing(pc)
+        live = set(self.live_out[block.bid])
+        for cur in range(block.end_pc - 1, pc - 1, -1):
+            inst = self.cfg.program[cur]
+            defined = inst_def(inst)
+            if defined is not None:
+                live.discard(defined)
+            live.update(inst_uses(inst))
+        return frozenset(live)
+
+    def live_after(self, pc: int) -> FrozenSet[int]:
+        """Registers live immediately after executing ``pc``."""
+        block = self.cfg.block_containing(pc)
+        if pc == block.last_pc:
+            return self.live_out[block.bid]
+        return self.live_before(pc + 1)
+
+
+def solve_liveness(cfg: StaticCFG) -> LivenessResult:
+    """Backward may-analysis: which registers may be read before rewrite."""
+    use: Dict[int, Set[int]] = {}
+    defs: Dict[int, Set[int]] = {}
+    for block in cfg.blocks:
+        block_use: Set[int] = set()
+        block_def: Set[int] = set()
+        for pc in range(block.start_pc, block.end_pc):
+            inst = cfg.program[pc]
+            for reg in inst_uses(inst):
+                if reg not in block_def:
+                    block_use.add(reg)
+            defined = inst_def(inst)
+            if defined is not None:
+                block_def.add(defined)
+        use[block.bid] = block_use
+        defs[block.bid] = block_def
+
+    live_in: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    live_out: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    worklist = [b.bid for b in cfg.blocks]
+    in_worklist = set(worklist)
+    while worklist:
+        bid = worklist.pop()
+        in_worklist.discard(bid)
+        out: Set[int] = set()
+        for succ in cfg.successors(bid):
+            out |= live_in[succ]
+        new_in = use[bid] | (out - defs[bid])
+        live_out[bid] = out
+        if new_in != live_in[bid]:
+            live_in[bid] = new_in
+            for pred in cfg.predecessors(bid):
+                if pred not in in_worklist:
+                    in_worklist.add(pred)
+                    worklist.append(pred)
+    return LivenessResult(
+        cfg,
+        {bid: frozenset(s) for bid, s in live_in.items()},
+        {bid: frozenset(s) for bid, s in live_out.items()},
+    )
+
+
+@dataclass(frozen=True)
+class UndefinedRead:
+    """A register read with no reaching definition on any static path."""
+
+    pc: int
+    reg: int
+
+
+class ReachingDefsResult:
+    """Per-block sets of definition sites (pcs) reaching the block entry."""
+
+    def __init__(
+        self,
+        cfg: StaticCFG,
+        reach_in: Dict[int, FrozenSet[int]],
+        reach_out: Dict[int, FrozenSet[int]],
+    ):
+        self.cfg = cfg
+        self.reach_in = reach_in
+        self.reach_out = reach_out
+
+    def defs_reaching(self, pc: int) -> FrozenSet[int]:
+        """Definition sites whose value may be observable just before ``pc``."""
+        block = self.cfg.block_containing(pc)
+        program = self.cfg.program
+        local: Set[int] = set()
+        regs_defined: Set[int] = set()
+        for cur in range(block.start_pc, pc):
+            defined = inst_def(program[cur])
+            if defined is not None:
+                local = {d for d in local if inst_def(program[d]) != defined}
+                local.add(cur)
+                regs_defined.add(defined)
+        inherited = {
+            d
+            for d in self.reach_in[block.bid]
+            if inst_def(program[d]) not in regs_defined
+        }
+        return frozenset(inherited | local)
+
+    def undefined_reads(self) -> List[UndefinedRead]:
+        """Reads (in reachable blocks) with no reaching definition at all.
+
+        The machine zero-initialises registers, so these are suspicious
+        rather than fatal — typically a workload-generator bug.
+        """
+        program = self.cfg.program
+        result: List[UndefinedRead] = []
+        for bid in sorted(self.cfg.reachable_blocks()):
+            block = self.cfg.blocks[bid]
+            defined_regs = {
+                inst_def(program[d]) for d in self.reach_in[bid]
+            }
+            for pc in range(block.start_pc, block.end_pc):
+                inst = program[pc]
+                for reg in inst_uses(inst):
+                    if reg not in defined_regs:
+                        result.append(UndefinedRead(pc=pc, reg=reg))
+                defined = inst_def(inst)
+                if defined is not None:
+                    defined_regs.add(defined)
+        return result
+
+
+def solve_reaching(cfg: StaticCFG) -> ReachingDefsResult:
+    """Forward may-analysis: which definition sites reach each block."""
+    program = cfg.program
+    gen: Dict[int, Set[int]] = {}
+    kill_regs: Dict[int, Set[int]] = {}
+    defs_of_reg: Dict[int, Set[int]] = {}
+    for pc, inst in enumerate(program):
+        defined = inst_def(inst)
+        if defined is not None:
+            defs_of_reg.setdefault(defined, set()).add(pc)
+    for block in cfg.blocks:
+        block_gen: Dict[int, int] = {}
+        for pc in range(block.start_pc, block.end_pc):
+            defined = inst_def(program[pc])
+            if defined is not None:
+                block_gen[defined] = pc
+        gen[block.bid] = set(block_gen.values())
+        kill_regs[block.bid] = set(block_gen.keys())
+
+    reach_in: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    reach_out: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    worklist = [b.bid for b in cfg.blocks]
+    in_worklist = set(worklist)
+    while worklist:
+        bid = worklist.pop(0)
+        in_worklist.discard(bid)
+        incoming: Set[int] = set()
+        for pred in cfg.predecessors(bid):
+            incoming |= reach_out[pred]
+        reach_in[bid] = incoming
+        killed = kill_regs[bid]
+        survivors = {
+            d for d in incoming if inst_def(program[d]) not in killed
+        }
+        new_out = gen[bid] | survivors
+        if new_out != reach_out[bid]:
+            reach_out[bid] = new_out
+            for succ in cfg.successors(bid):
+                if succ not in in_worklist:
+                    in_worklist.add(succ)
+                    worklist.append(succ)
+    return ReachingDefsResult(
+        cfg,
+        {bid: frozenset(s) for bid, s in reach_in.items()},
+        {bid: frozenset(s) for bid, s in reach_out.items()},
+    )
+
+
+@dataclass(frozen=True)
+class DeadStore:
+    """A definition whose value can never be observed afterwards."""
+
+    pc: int
+    reg: int
+
+
+def dead_stores(cfg: StaticCFG, liveness: Optional[LivenessResult] = None) -> List[DeadStore]:
+    """Definitions in reachable blocks that are never live afterwards."""
+    liveness = liveness or solve_liveness(cfg)
+    program = cfg.program
+    result: List[DeadStore] = []
+    for bid in sorted(cfg.reachable_blocks()):
+        block = cfg.blocks[bid]
+        live: Set[int] = set(liveness.live_out[bid])
+        for pc in range(block.end_pc - 1, block.start_pc - 1, -1):
+            inst = program[pc]
+            defined = inst_def(inst)
+            if defined is not None:
+                if defined not in live:
+                    result.append(DeadStore(pc=pc, reg=defined))
+                live.discard(defined)
+            live.update(inst_uses(inst))
+    return sorted(result, key=lambda d: d.pc)

@@ -1,0 +1,82 @@
+"""Structured diagnostics shared by the linter and the pair validator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering allows ``max()`` over a report."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule id, a severity, an anchor pc and a message."""
+
+    rule: str
+    severity: Severity
+    message: str
+    pc: Optional[int] = None
+
+    def format(self) -> str:
+        where = f"pc {self.pc:5d}" if self.pc is not None else "program "
+        return f"{where}  {self.severity.label():7s} {self.rule}: {self.message}"
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with severity queries."""
+
+    def __init__(self, diagnostics: List[Diagnostic], suppressed: int = 0):
+        self.diagnostics = sorted(
+            diagnostics,
+            key=lambda d: (-int(d.severity), d.pc if d.pc is not None else -1),
+        )
+        #: Findings dropped by suppressions (kept for the summary line).
+        self.suppressed = suppressed
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{len(self.by_severity(sev))} {sev.label()}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            if self.by_severity(sev)
+        )
+        text = f"{len(self.diagnostics)} diagnostics"
+        if counts:
+            text += f" ({counts})"
+        if self.suppressed:
+            text += f", {self.suppressed} suppressed"
+        return text
+
+    def format(self) -> str:
+        lines = [self.summary()]
+        lines.extend(f"  {d.format()}" for d in self.diagnostics)
+        return "\n".join(lines)

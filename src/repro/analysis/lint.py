@@ -1,0 +1,231 @@
+"""Workload linter: static sanity rules over a :class:`Program`.
+
+Every rule inspects the static CFG / dataflow facts and emits structured
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Severities:
+
+- ``error``   — the program can crash the executor or silently produce a
+  truncated trace (dangling targets, falling off the program text, a
+  ``ret`` that no call can own).
+- ``warning`` — almost certainly a workload-generator bug but executable
+  (unreachable code, reads of never-written registers, no reachable halt).
+- ``info``    — style/efficiency notes (dead stores).
+
+Suppressions: a program may carry ``lint_suppressions`` mapping a rule id
+(``"dead-store"``) or a pc-qualified rule (``"dead-store@17"``) to a short
+rationale; suppressed findings are dropped and only counted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.cfg import StaticCFG
+from repro.analysis.dataflow import (
+    dead_stores,
+    solve_liveness,
+    solve_reaching,
+)
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+#: rule id -> (severity, one-line description); the registry the CLI prints.
+LINT_RULES: Dict[str, tuple] = {
+    "dangling-target": (
+        Severity.ERROR,
+        "control transfer whose target pc is missing or outside the program",
+    ),
+    "fallthrough-end": (
+        Severity.ERROR,
+        "execution can fall through past the last instruction",
+    ),
+    "ret-outside-subroutine": (
+        Severity.ERROR,
+        "ret not reachable from any call target (would pop an empty stack)",
+    ),
+    "unreachable-code": (
+        Severity.WARNING,
+        "basic block unreachable from the program entry",
+    ),
+    "undefined-read": (
+        Severity.WARNING,
+        "register read with no reaching definition on any static path",
+    ),
+    "halt-unreachable": (
+        Severity.WARNING,
+        "no halt instruction is statically reachable",
+    ),
+    "dead-store": (
+        Severity.INFO,
+        "register definition that is never live afterwards",
+    ),
+}
+
+
+def _check_dangling_targets(cfg: StaticCFG) -> List[Diagnostic]:
+    out = []
+    for pc in cfg.invalid_targets:
+        inst = cfg.program[pc]
+        target = "missing" if inst.target is None else f"{inst.target}"
+        out.append(
+            Diagnostic(
+                "dangling-target",
+                Severity.ERROR,
+                f"{inst.op.value} target {target} outside program of size "
+                f"{len(cfg.program)}",
+                pc=pc,
+            )
+        )
+    return out
+
+
+def _check_fallthrough_end(cfg: StaticCFG) -> List[Diagnostic]:
+    reachable = cfg.reachable_blocks()
+    out = []
+    for bid in sorted(cfg.falls_off_end):
+        if bid not in reachable:
+            continue
+        block = cfg.blocks[bid]
+        out.append(
+            Diagnostic(
+                "fallthrough-end",
+                Severity.ERROR,
+                "block can fall through past the end of the program "
+                "(missing halt/jump/ret)",
+                pc=block.last_pc,
+            )
+        )
+    return out
+
+
+def _check_ret_ownership(cfg: StaticCFG) -> List[Diagnostic]:
+    owned = {
+        bid for rets in cfg.function_rets.values() for bid in rets
+    }
+    reachable = cfg.reachable_blocks()
+    out = []
+    for block in cfg.blocks:
+        if cfg.program[block.last_pc].op is not Opcode.RET:
+            continue
+        if block.bid in reachable and block.bid not in owned:
+            out.append(
+                Diagnostic(
+                    "ret-outside-subroutine",
+                    Severity.ERROR,
+                    "ret is not intraprocedurally reachable from any call "
+                    "target; executing it would pop an empty call stack",
+                    pc=block.last_pc,
+                )
+            )
+    return out
+
+
+def _check_unreachable(cfg: StaticCFG) -> List[Diagnostic]:
+    reachable = cfg.reachable_blocks()
+    out = []
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            out.append(
+                Diagnostic(
+                    "unreachable-code",
+                    Severity.WARNING,
+                    f"block of {block.size} instruction(s) is unreachable "
+                    "from the entry",
+                    pc=block.start_pc,
+                )
+            )
+    return out
+
+
+def _check_undefined_reads(cfg: StaticCFG) -> List[Diagnostic]:
+    reaching = solve_reaching(cfg)
+    out = []
+    for read in reaching.undefined_reads():
+        out.append(
+            Diagnostic(
+                "undefined-read",
+                Severity.WARNING,
+                f"r{read.reg} is read but never written on any path here "
+                "(the machine zero-initialises it)",
+                pc=read.pc,
+            )
+        )
+    return out
+
+
+def _check_halt_reachable(cfg: StaticCFG) -> List[Diagnostic]:
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        for pc in range(block.start_pc, block.end_pc):
+            if cfg.program[pc].op is Opcode.HALT:
+                return []
+    return [
+        Diagnostic(
+            "halt-unreachable",
+            Severity.WARNING,
+            "no halt is statically reachable; the program cannot terminate "
+            "cleanly",
+        )
+    ]
+
+
+def _check_dead_stores(cfg: StaticCFG) -> List[Diagnostic]:
+    liveness = solve_liveness(cfg)
+    out = []
+    for dead in dead_stores(cfg, liveness):
+        out.append(
+            Diagnostic(
+                "dead-store",
+                Severity.INFO,
+                f"value written to r{dead.reg} is never read afterwards",
+                pc=dead.pc,
+            )
+        )
+    return out
+
+
+_CHECKS = {
+    "dangling-target": _check_dangling_targets,
+    "fallthrough-end": _check_fallthrough_end,
+    "ret-outside-subroutine": _check_ret_ownership,
+    "unreachable-code": _check_unreachable,
+    "undefined-read": _check_undefined_reads,
+    "halt-unreachable": _check_halt_reachable,
+    "dead-store": _check_dead_stores,
+}
+
+
+def lint_program(
+    program: Program,
+    ignore: Iterable[str] = (),
+    cfg: Optional[StaticCFG] = None,
+) -> DiagnosticReport:
+    """Run every lint rule over ``program`` and return the report.
+
+    ``ignore`` drops entire rules; the program's own ``lint_suppressions``
+    (rule id or ``rule@pc`` keys, each mapped to a rationale) drop
+    individual findings and are tallied in the report summary.
+    """
+    ignored = set(ignore)
+    unknown = ignored - set(LINT_RULES)
+    if unknown:
+        raise ValueError(f"unknown lint rule(s): {sorted(unknown)}")
+    cfg = cfg or StaticCFG(program)
+    suppressions = getattr(program, "lint_suppressions", {}) or {}
+
+    diagnostics: List[Diagnostic] = []
+    suppressed = 0
+    for rule, check in _CHECKS.items():
+        if rule in ignored:
+            continue
+        for diag in check(cfg):
+            if diag.rule in suppressions or (
+                diag.pc is not None
+                and f"{diag.rule}@{diag.pc}" in suppressions
+            ):
+                suppressed += 1
+                continue
+            diagnostics.append(diag)
+    return DiagnosticReport(diagnostics, suppressed=suppressed)

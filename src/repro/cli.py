@@ -15,6 +15,19 @@ Commands
     Simulate the clustered processor and print the stats and speed-up.
 ``figure <name>``
     Regenerate one figure of the paper (e.g. ``figure3``).
+``lint <workload>``
+    Run the static workload linter (``repro.analysis.lint``).
+``validate-pairs <workload>``
+    Statically validate a spawning-pair table against the program.
+
+Exit codes
+----------
+
+All commands return 0 on success and 2 on a usage error (argparse).
+``lint`` additionally returns 1 when any error-severity diagnostic is
+emitted (or any warning under ``--strict``), and ``validate-pairs``
+returns 1 when any pair has an error-severity finding — both are safe to
+gate CI on.
 """
 
 from __future__ import annotations
@@ -157,6 +170,45 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import LINT_RULES, lint_program
+
+    if args.list_rules:
+        for rule, (severity, doc) in LINT_RULES.items():
+            print(f"{rule:24s} {severity.label():7s} {doc}")
+        return 0
+    if args.workload is None:
+        print("lint: a workload is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+    program = build_workload(args.workload, args.scale)
+    try:
+        report = lint_program(program, ignore=args.ignore or ())
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(f"{program.name}: {report.summary()}")
+    for diag in report:
+        print(f"  {diag.format()}")
+    if report.has_errors():
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
+
+
+def cmd_validate_pairs(args) -> int:
+    from repro.analysis import validate_pairs
+
+    trace = load_trace(args.workload, args.scale)
+    pairs = _build_pairs(trace, args)
+    report = validate_pairs(trace.program, pairs)
+    print(f"{args.workload}: {report.summary()}")
+    for finding in report:
+        print(f"  {finding.format()}")
+    return 1 if report.errors() else 0
+
+
 def cmd_figure(args) -> int:
     from repro.experiments.figures import ALL_FIGURES
 
@@ -209,6 +261,23 @@ def make_parser() -> argparse.ArgumentParser:
                    choices=("perfect", "stride", "fcm", "last", "none"))
     p.add_argument("--width", type=int, default=100)
 
+    p = sub.add_parser("lint", help="static workload linter")
+    p.add_argument("workload", nargs="?", choices=workload_names())
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier (default 1.0)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on warnings as well as errors")
+    p.add_argument("--ignore", action="append", metavar="RULE",
+                   help="drop a lint rule (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+
+    p = sub.add_parser("validate-pairs",
+                       help="statically validate a spawning-pair table")
+    _add_workload_arg(p)
+    _add_policy_args(p)
+    p.add_argument("--load", help="validate a saved pair table instead")
+
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
     p.add_argument("--scale", type=float, default=1.0)
@@ -223,6 +292,8 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "timeline": cmd_timeline,
     "figure": cmd_figure,
+    "lint": cmd_lint,
+    "validate-pairs": cmd_validate_pairs,
 }
 
 

@@ -55,6 +55,7 @@ class ProgramBuilder:
         self._next_label = 0
         self._next_addr = 0x1000
         self._initial_memory: Dict[int, int] = {}
+        self._lint_suppressions: Dict[str, str] = {}
         self._halted = False
 
     # ------------------------------------------------------------------
@@ -126,6 +127,15 @@ class ProgramBuilder:
     def here(self) -> int:
         """pc of the next instruction to be emitted."""
         return len(self._instructions)
+
+    def lint_suppress(self, rule: str, reason: str) -> None:
+        """Acknowledge an intentional lint finding on the built program.
+
+        ``rule`` is a lint rule id, optionally pc-qualified
+        (``"dead-store@17"``); ``reason`` documents why the construct is
+        deliberate.  The linter drops matching diagnostics.
+        """
+        self._lint_suppressions[rule] = reason
 
     # ------------------------------------------------------------------
     # ALU / memory convenience emitters.
@@ -333,6 +343,7 @@ class ProgramBuilder:
             labels=dict(self._labels),
             name=self.name,
             initial_memory=dict(self._initial_memory),
+            lint_suppressions=dict(self._lint_suppressions),
         )
         program.validate()
         return program

@@ -23,6 +23,10 @@ class Program:
     #: Initial data-memory image (word address -> value), set up by the
     #: workload generators before execution.
     initial_memory: Dict[int, int] = field(default_factory=dict)
+    #: Acknowledged lint findings: rule id (``"dead-store"``) or
+    #: pc-qualified rule (``"dead-store@17"``) -> one-line rationale.
+    #: ``repro.analysis.lint`` drops matching diagnostics.
+    lint_suppressions: Dict[str, str] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -53,6 +53,12 @@ class ProfilePolicyConfig:
     #: Off by default: on this suite it trades go/stride gains for li
     #: losses (see benchmarks/test_ablations.py).
     keep_loop_heads: bool = False
+    #: Cross-check the selected pairs against the static CFG
+    #: (``repro.analysis.validator``) and drop any pair that is statically
+    #: impossible (out-of-range pcs, unreachable CQIP).  Profile-derived
+    #: pairs come from observed executions so this is normally a no-op; it
+    #: guards against corrupted pair tables and profiling bugs.
+    static_validate: bool = True
 
 
 def select_profile_pairs(
@@ -119,7 +125,13 @@ def select_profile_pairs(
     if config.include_return_points:
         pruned_pairs = _add_return_points(trace, pruned_pairs, config)
 
-    return SpawnPairSet(pruned_pairs, candidates_evaluated=len(candidates))
+    result = SpawnPairSet(pruned_pairs, candidates_evaluated=len(candidates))
+    if config.static_validate:
+        # Imported lazily: repro.analysis depends on repro.spawning.pairs.
+        from repro.analysis.validator import filter_statically_valid
+
+        result = filter_statically_valid(trace.program, result)
+    return result
 
 
 def _dedupe_mutual_sps(cfg, profile, pairs, config):

@@ -45,11 +45,9 @@ def build_go(scale: float = 1.0, dataset: str = "train") -> Program:
     addr = b.reg("addr")
     stone = b.reg("stone")
     t = b.reg("t")
-    npoints = b.reg("npoints")
 
     b.li(bbase, board_base)
     b.li(sbase, score_base)
-    b.li(npoints, _POINTS)
 
     cbase = b.reg("cbase")
     b.li(cbase, cand_base)

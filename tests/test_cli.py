@@ -72,6 +72,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "TU00" in out and "=" in out
 
+    def test_lint_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "compress", "--scale", "0.1"]) == 0
+        assert "diagnostics" in capsys.readouterr().out
+
+    def test_lint_strict_mode_accepted(self, capsys):
+        assert main(["lint", "ijpeg", "--scale", "0.1", "--strict"]) == 0
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "dangling-target" in out and "dead-store" in out
+
+    def test_lint_without_workload_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_unknown_ignore_rule_is_usage_error(self, capsys):
+        assert main(["lint", "compress", "--ignore", "no-such-rule"]) == 2
+
+    def test_validate_pairs_profile_policy(self, capsys):
+        assert main(["validate-pairs", "compress", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "pairs checked" in out
+        assert "0 rejected" in out
+
+    def test_validate_pairs_rejects_corrupt_table(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "pairs.json"
+        main(["pairs", "compress", "--scale", "0.1", "--save", str(path)])
+        capsys.readouterr()
+        table = json.loads(path.read_text())
+        table["pairs"][0]["cqip_pc"] = 10_000_000  # corrupt one entry
+        path.write_text(json.dumps(table))
+        assert main([
+            "validate-pairs", "compress", "--scale", "0.1",
+            "--load", str(path),
+        ]) == 1
+        assert "rejected" in capsys.readouterr().out
+
     def test_figure_unknown_name(self, capsys):
         assert main(["figure", "figure99"]) == 2
 

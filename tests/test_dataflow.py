@@ -1,0 +1,179 @@
+"""Liveness and reaching-definitions on hand-built programs with known
+answers."""
+
+from repro.analysis import (
+    StaticCFG,
+    dead_stores,
+    inst_def,
+    inst_uses,
+    solve_liveness,
+    solve_reaching,
+)
+from repro.isa import ProgramBuilder
+from repro.isa.builder import ARG_REGS, RV_REG
+from repro.isa.instructions import Instruction, Opcode
+
+
+class TestDefsUses:
+    def test_alu_def_and_uses(self):
+        inst = Instruction(Opcode.ADD, dst=3, srcs=(1, 2))
+        assert inst_def(inst) == 3
+        assert inst_uses(inst) == (1, 2)
+
+    def test_store_has_no_def(self):
+        inst = Instruction(Opcode.STORE, srcs=(4, 5), imm=0)
+        assert inst_def(inst) is None
+        assert inst_uses(inst) == (4, 5)
+
+    def test_r0_excluded(self):
+        inst = Instruction(Opcode.ADD, dst=0, srcs=(0, 2))
+        assert inst_def(inst) is None
+        assert inst_uses(inst) == (2,)
+
+
+def _build_linear():
+    """r1=li; r2=r1+r1; store r2; halt — r1 dead after pc1, r2 after store."""
+    b = ProgramBuilder("linear")
+    r1, r2, a = b.reg("r1"), b.reg("r2"), b.reg("a")
+    b.li(r1, 7)          # pc 0
+    b.add(r2, r1, r1)    # pc 1
+    b.li(a, 0x1000)      # pc 2
+    b.store(r2, a)       # pc 3
+    b.halt()             # pc 4
+    return b.build()
+
+
+class TestLiveness:
+    def test_linear_liveness(self):
+        cfg = StaticCFG(_build_linear())
+        live = solve_liveness(cfg)
+        # Before pc1 the add needs r1; before pc3 the store needs r2 and a.
+        assert live.live_before(1) == frozenset({cfg.program[0].dst})
+        r2 = cfg.program[1].dst
+        a = cfg.program[2].dst
+        assert live.live_before(3) == frozenset({r2, a})
+        assert live.live_after(3) == frozenset()
+
+    def test_loop_carried_register_is_live_at_head(self):
+        b = ProgramBuilder("loop")
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, 0)
+        with b.for_range(i, 0, 8):
+            b.add(acc, acc, i)
+        b.store(acc, i)
+        b.halt()
+        program = b.build()
+        cfg = StaticCFG(program)
+        live = solve_liveness(cfg)
+        head = next(iter(program.loop_heads()))
+        # Both the accumulator and the counter are live at the loop head.
+        assert acc in live.live_before(head)
+        assert i in live.live_before(head)
+
+    def test_argument_flows_into_callee(self):
+        b = ProgramBuilder("callarg")
+        x = b.reg("x")
+        b.li(x, 3)
+        b.mov(ARG_REGS[0], x)
+        call_pc = b.here()
+        b.call("f")
+        b.mov(x, RV_REG)
+        b.store(x, x)
+        b.halt()
+        with b.function("f"):
+            b.addi(RV_REG, ARG_REGS[0], 1)
+        program = b.build()
+        cfg = StaticCFG(program)
+        live = solve_liveness(cfg)
+        # The argument register is live across the call edge.
+        assert ARG_REGS[0] in live.live_before(call_pc)
+        # The return value is live at the ret (read by the continuation).
+        entry = program.labels["f"]
+        assert RV_REG in live.live_after(entry)
+
+
+class TestReachingDefs:
+    def test_single_def_reaches_use(self):
+        cfg = StaticCFG(_build_linear())
+        reach = solve_reaching(cfg)
+        assert reach.defs_reaching(1) >= {0}
+
+    def test_redefinition_kills(self):
+        b = ProgramBuilder("kill")
+        r = b.reg("r")
+        b.li(r, 1)   # pc 0
+        b.li(r, 2)   # pc 1 kills pc 0
+        b.store(r, r)
+        b.halt()
+        cfg = StaticCFG(b.build())
+        reach = solve_reaching(cfg)
+        assert 0 not in reach.defs_reaching(2)
+        assert 1 in reach.defs_reaching(2)
+
+    def test_branch_merges_definitions(self):
+        b = ProgramBuilder("merge")
+        x, y = b.reg("x"), b.reg("y")
+        b.li(x, 1)
+        b.if_else(
+            Opcode.BEQZ, (x,), lambda: b.li(y, 1), lambda: b.li(y, 2)
+        )
+        join = b.here()
+        b.store(y, x)
+        b.halt()
+        cfg = StaticCFG(b.build())
+        reach = solve_reaching(cfg)
+        y_defs = {
+            pc
+            for pc in reach.defs_reaching(join)
+            if cfg.program[pc].dst == y
+        }
+        assert len(y_defs) == 2
+
+    def test_undefined_read_detected(self):
+        b = ProgramBuilder("undef")
+        x, y = b.reg("x"), b.reg("y")
+        b.add(x, y, y)  # y never written
+        b.store(x, x)
+        b.halt()
+        cfg = StaticCFG(b.build())
+        reads = solve_reaching(cfg).undefined_reads()
+        assert any(r.pc == 0 and r.reg == y for r in reads)
+
+    def test_clean_program_has_no_undefined_reads(self):
+        cfg = StaticCFG(_build_linear())
+        assert solve_reaching(cfg).undefined_reads() == []
+
+
+class TestDeadStores:
+    def test_final_unused_write_is_dead(self):
+        b = ProgramBuilder("dead")
+        r = b.reg("r")
+        b.li(r, 1)
+        b.store(r, r)
+        b.addi(r, r, 1)  # result never read
+        b.halt()
+        cfg = StaticCFG(b.build())
+        dead = dead_stores(cfg)
+        assert [d.pc for d in dead] == [2]
+
+    def test_overwritten_write_is_dead(self):
+        b = ProgramBuilder("dead2")
+        r = b.reg("r")
+        b.li(r, 1)  # dead: overwritten before any read
+        b.li(r, 2)
+        b.store(r, r)
+        b.halt()
+        cfg = StaticCFG(b.build())
+        assert [d.pc for d in dead_stores(cfg)] == [0]
+
+    def test_loop_carried_write_is_not_dead(self):
+        b = ProgramBuilder("loopacc")
+        i, acc = b.reg("i"), b.reg("acc")
+        b.li(acc, 0)
+        with b.for_range(i, 0, 8):
+            b.add(acc, acc, i)
+        b.store(acc, i)
+        b.halt()
+        cfg = StaticCFG(b.build())
+        dead_regs = {d.reg for d in dead_stores(cfg)}
+        assert acc not in dead_regs

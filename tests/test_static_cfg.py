@@ -1,0 +1,266 @@
+"""Static CFG construction, dominators, loops, and the static/dynamic
+consistency property over the whole workload suite."""
+
+import pytest
+
+from repro.analysis import (
+    EdgeKind,
+    StaticCFG,
+    dominator_tree,
+    natural_loops,
+    postdominator_tree,
+)
+from repro.exec import run_program
+from repro.isa import ProgramBuilder
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.profiling.cfg import ControlFlowGraph
+from repro.workloads import build_workload, workload_names
+
+
+def _straightline_program():
+    b = ProgramBuilder("straight")
+    r = b.reg("r")
+    b.li(r, 1)
+    b.addi(r, r, 2)
+    b.halt()
+    return b.build()
+
+
+def _diamond_program():
+    """if/else diamond followed by a join and halt."""
+    b = ProgramBuilder("diamond")
+    x = b.reg("x")
+    y = b.reg("y")
+    b.li(x, 5)
+    b.if_else(
+        Opcode.BEQZ,
+        (x,),
+        lambda: b.li(y, 1),
+        lambda: b.li(y, 2),
+    )
+    b.addi(y, y, 1)
+    b.halt()
+    return b.build()
+
+
+def _loop_program():
+    b = ProgramBuilder("loop")
+    i = b.reg("i")
+    acc = b.reg("acc")
+    b.li(acc, 0)
+    with b.for_range(i, 0, 10):
+        b.add(acc, acc, i)
+    b.halt()
+    return b.build()
+
+
+def _call_program():
+    b = ProgramBuilder("calls")
+    x = b.reg("x")
+    b.li(x, 3)
+    b.call("double")
+    b.call("double")
+    b.halt()
+    with b.function("double"):
+        b.add(x, x, x)
+    return b.build()
+
+
+class TestBlockStructure:
+    def test_straightline_is_one_block(self):
+        cfg = StaticCFG(_straightline_program())
+        assert len(cfg) == 1
+        assert cfg.blocks[0].start_pc == 0
+        assert cfg.blocks[0].size == 3
+        assert cfg.successors(0) == []
+
+    def test_blocks_partition_the_program(self):
+        for name in ("diamond", "loop", "calls"):
+            program = {
+                "diamond": _diamond_program,
+                "loop": _loop_program,
+                "calls": _call_program,
+            }[name]()
+            cfg = StaticCFG(program)
+            covered = []
+            for block in cfg.blocks:
+                covered.extend(range(block.start_pc, block.end_pc))
+            assert covered == list(range(len(program)))
+
+    def test_diamond_edges(self):
+        program = _diamond_program()
+        cfg = StaticCFG(program)
+        entry = cfg.blocks[cfg.entry]
+        kinds = {kind for _dst, kind in cfg.succs[entry.bid]}
+        assert kinds == {EdgeKind.TAKEN, EdgeKind.FALLTHROUGH}
+        # The join block has two predecessors (then-arm jump, else-arm).
+        join_pc = program.labels[
+            [l for l in program.labels if l.startswith(".Lend")][0]
+        ]
+        join = cfg.by_pc[join_pc]
+        assert len(cfg.predecessors(join)) == 2
+
+    def test_block_containing_mid_block_pc(self):
+        cfg = StaticCFG(_straightline_program())
+        assert cfg.block_containing(1).bid == 0
+        with pytest.raises(ValueError):
+            cfg.block_containing(99)
+
+    def test_loop_has_back_edge(self):
+        program = _loop_program()
+        cfg = StaticCFG(program)
+        heads = program.loop_heads()
+        assert heads
+        head_bid = cfg.by_pc[next(iter(heads))]
+        # Some block branches back to the head.
+        assert any(
+            head_bid in cfg.successors(b.bid)
+            and b.start_pc >= cfg.blocks[head_bid].start_pc
+            for b in cfg.blocks
+        )
+
+    def test_call_and_return_edges(self):
+        program = _call_program()
+        cfg = StaticCFG(program)
+        entry_pc = program.labels["double"]
+        callee = cfg.by_pc[entry_pc]
+        call_edges = [
+            (src, dst)
+            for src, edges in cfg.succs.items()
+            for dst, kind in edges
+            if kind is EdgeKind.CALL
+        ]
+        assert all(dst == callee for _src, dst in call_edges)
+        assert len(call_edges) == 2
+        ret_edges = [
+            (src, dst)
+            for src, edges in cfg.succs.items()
+            for dst, kind in edges
+            if kind is EdgeKind.RETURN
+        ]
+        # One ret, two continuations.
+        assert len(ret_edges) == 2
+        assert cfg.function_rets[entry_pc]
+
+    def test_everything_reachable_in_call_program(self):
+        cfg = StaticCFG(_call_program())
+        assert cfg.reachable_blocks() == {b.bid for b in cfg.blocks}
+
+    def test_invalid_target_recorded_not_fatal(self):
+        program = Program(
+            instructions=[
+                Instruction(Opcode.JUMP, target=99),
+                Instruction(Opcode.HALT),
+            ],
+            name="bad",
+        )
+        cfg = StaticCFG(program)
+        assert cfg.invalid_targets == [0]
+
+    def test_fallthrough_off_end_recorded(self):
+        program = Program(
+            instructions=[Instruction(Opcode.NOP), Instruction(Opcode.NOP)],
+            name="noend",
+        )
+        cfg = StaticCFG(program)
+        assert cfg.blocks[-1].bid in cfg.falls_off_end
+
+
+class TestDistances:
+    def test_straightline_distance(self):
+        cfg = StaticCFG(_straightline_program())
+        assert cfg.shortest_distance(0, 2) == 2.0
+
+    def test_unreachable_returns_none(self):
+        cfg = StaticCFG(_straightline_program())
+        # Backwards in a straight line: no path.
+        assert cfg.shortest_distance(2, 0) is None
+
+    def test_loop_self_distance_is_cycle_length(self):
+        program = _loop_program()
+        cfg = StaticCFG(program)
+        head = next(iter(program.loop_heads()))
+        dist = cfg.shortest_distance(head, head)
+        # The loop body is head..backward-branch inclusive.
+        branch_pc = program.backward_branch_pcs()[0]
+        assert dist == branch_pc - head + 1
+
+    def test_distance_through_call(self):
+        program = _call_program()
+        cfg = StaticCFG(program)
+        # From entry to halt must pass through the callee twice.
+        halt_pc = next(
+            pc for pc, i in enumerate(program) if i.op is Opcode.HALT
+        )
+        dist = cfg.shortest_distance(0, halt_pc)
+        assert dist is not None
+        assert dist > halt_pc  # longer than the straight-line text distance
+
+
+class TestDominators:
+    def test_diamond_dominance(self):
+        cfg = StaticCFG(_diamond_program())
+        dom = dominator_tree(cfg)
+        entry = cfg.entry
+        for block in cfg.blocks:
+            assert dom.dominates(entry, block.bid)
+        # Neither arm dominates the join.
+        arms = cfg.successors(entry)
+        join_candidates = [
+            b.bid
+            for b in cfg.blocks
+            if len(cfg.predecessors(b.bid)) == 2
+        ]
+        assert join_candidates
+        join = join_candidates[0]
+        for arm in arms:
+            assert not dom.dominates(arm, join)
+
+    def test_postdominators_diamond(self):
+        cfg = StaticCFG(_diamond_program())
+        pdom = postdominator_tree(cfg)
+        join = [
+            b.bid for b in cfg.blocks if len(cfg.predecessors(b.bid)) == 2
+        ][0]
+        assert pdom.dominates(join, cfg.entry)
+
+    def test_natural_loops_found(self):
+        program = _loop_program()
+        cfg = StaticCFG(program)
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        head_pc = next(iter(program.loop_heads()))
+        assert cfg.blocks[loops[0].head].start_pc == head_pc
+        assert loops[0].head in loops[0].body
+
+    def test_straightline_has_no_loops(self):
+        assert natural_loops(StaticCFG(_straightline_program())) == []
+
+
+class TestStaticDynamicConsistency:
+    """Property: the static CFG refines the dynamic (trace) CFG.
+
+    Every leader the profiler discovers dynamically must be a static
+    leader, and the static block starting there can only be shorter (the
+    static analysis also splits at never-executed branch targets).
+    """
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_dynamic_leaders_are_static_leaders(self, name):
+        program = build_workload(name, 0.2)
+        trace = run_program(program)
+        dyn = ControlFlowGraph.from_trace(trace)
+        static = StaticCFG(program)
+        static_leaders = set(static.leader_pcs())
+        for block in dyn.blocks:
+            assert block.start_pc in static_leaders, (
+                f"{name}: dynamic leader pc {block.start_pc} is not a "
+                "static leader"
+            )
+            sblock = static.block_containing(block.start_pc)
+            assert sblock.start_pc == block.start_pc
+            assert sblock.size <= block.size, (
+                f"{name}: static block at pc {block.start_pc} longer than "
+                "its dynamic counterpart"
+            )
