@@ -19,15 +19,20 @@ Commands
     Run the static workload linter (``repro.analysis.lint``).
 ``validate-pairs <workload>``
     Statically validate a spawning-pair table against the program.
+``faults``
+    Run a fault-injection campaign and print the degradation report.
 
 Exit codes
 ----------
 
 All commands return 0 on success and 2 on a usage error (argparse).
 ``lint`` additionally returns 1 when any error-severity diagnostic is
-emitted (or any warning under ``--strict``), and ``validate-pairs``
-returns 1 when any pair has an error-severity finding — both are safe to
-gate CI on.
+emitted (or any warning under ``--strict``), ``validate-pairs`` returns
+1 when any pair has an error-severity finding, and ``faults`` returns 1
+when a campaign gate fails — all three are safe to gate CI on.
+Structured simulation/execution failures (timeouts, invariant
+violations, runaway workloads) exit 3 with a one-line message instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import sys
 from typing import List, Optional
 
 from repro.cmt import ProcessorConfig, simulate, single_thread_cycles
+from repro.errors import ExecutionError, SimulationError
 from repro.isa.assembler import disassemble
 from repro.isa.instructions import Opcode
 from repro.spawning import (
@@ -54,6 +60,14 @@ def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("workload", choices=workload_names())
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0)")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="functional-execution step budget (a workload "
+                        "that does not halt within it fails fast)")
+
+
+def _trace_of(args):
+    return load_trace(args.workload, args.scale,
+                      max_steps=getattr(args, "max_steps", None))
 
 
 def _profile_config(args) -> ProfilePolicyConfig:
@@ -92,7 +106,7 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    trace = load_trace(args.workload, args.scale)
+    trace = _trace_of(args)
     branches = sum(1 for d in trace if d.taken is not None)
     taken = sum(1 for d in trace if d.taken)
     loads = sum(1 for d in trace if d.op is Opcode.LOAD)
@@ -114,7 +128,7 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_pairs(args) -> int:
-    trace = load_trace(args.workload, args.scale)
+    trace = _trace_of(args)
     pairs = _build_pairs(trace, args)
     print(
         f"{pairs.candidates_evaluated} candidates evaluated, "
@@ -133,7 +147,7 @@ def cmd_pairs(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    trace = load_trace(args.workload, args.scale)
+    trace = _trace_of(args)
     pairs = _build_pairs(trace, args)
     config = ProcessorConfig(
         num_thread_units=args.tus,
@@ -141,8 +155,16 @@ def cmd_simulate(args) -> int:
         init_overhead=args.init_overhead,
         removal_cycles=args.removal,
         min_thread_size=args.min_thread_size,
+        cycle_budget=args.cycle_budget,
     )
-    stats = simulate(trace, pairs, config)
+    injector = None
+    if args.fault_rate:
+        from repro.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(
+            FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+        )
+    stats = simulate(trace, pairs, config, injector)
     baseline = single_thread_cycles(trace, config)
     for key, value in stats.summary().items():
         print(f"{key:20s} {value}")
@@ -154,7 +176,7 @@ def cmd_simulate(args) -> int:
 def cmd_timeline(args) -> int:
     from repro.cmt.gantt import render_gantt
 
-    trace = load_trace(args.workload, args.scale)
+    trace = _trace_of(args)
     pairs = _build_pairs(trace, args)
     config = ProcessorConfig(
         num_thread_units=args.tus,
@@ -200,13 +222,60 @@ def cmd_lint(args) -> int:
 def cmd_validate_pairs(args) -> int:
     from repro.analysis import validate_pairs
 
-    trace = load_trace(args.workload, args.scale)
+    trace = _trace_of(args)
     pairs = _build_pairs(trace, args)
     report = validate_pairs(trace.program, pairs)
     print(f"{args.workload}: {report.summary()}")
     for finding in report:
         print(f"  {finding.format()}")
     return 1 if report.errors() else 0
+
+
+def cmd_faults(args) -> int:
+    from repro.experiments.framework import SweepCheckpoint
+    from repro.faults.campaign import CampaignSpec, run_campaign
+
+    if args.smoke:
+        spec = CampaignSpec.smoke(seed=args.seed)
+    else:
+        try:
+            rates = tuple(
+                float(token)
+                for token in args.rates.split(",")
+                if token.strip() != ""
+            )
+        except ValueError:
+            print(f"faults: bad --rates value {args.rates!r}", file=sys.stderr)
+            return 2
+        if 0.0 not in rates:
+            rates = (0.0,) + rates  # the zero-rate gate is always run
+        spec = CampaignSpec(
+            workloads=tuple(args.workloads or workload_names()),
+            rates=rates,
+            seed=args.seed,
+            scale=args.scale,
+            policy=args.policy,
+            thread_units=args.tus,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+    result = run_campaign(
+        spec,
+        checkpoint=checkpoint,
+        crash_keys=tuple(args.inject_crash or ()),
+        progress=(lambda line: print(line, file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    print(result.render())
+    if args.report:
+        import json
+
+        with open(args.report, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote JSON report to {args.report}")
+    return 0 if result.ok else 1
 
 
 def cmd_figure(args) -> int:
@@ -252,6 +321,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--removal", type=int, default=None,
                    help="alone-cycles removal threshold")
     p.add_argument("--min-thread-size", type=int, default=None)
+    p.add_argument("--cycle-budget", type=int, default=None,
+                   help="abort the simulation past this many cycles")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="uniform fault-injection rate (0 disables)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault plan (with --fault-rate)")
 
     p = sub.add_parser("timeline", help="ASCII Gantt of thread lifetimes")
     _add_workload_arg(p)
@@ -278,6 +353,35 @@ def make_parser() -> argparse.ArgumentParser:
     _add_policy_args(p)
     p.add_argument("--load", help="validate a saved pair table instead")
 
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign with degradation report",
+    )
+    p.add_argument("--workloads", nargs="*", choices=workload_names(),
+                   help="workloads to sweep (default: whole suite)")
+    p.add_argument("--rates", default="0,0.01,0.05,0.1",
+                   help="comma-separated fault rates (0 is always added)")
+    p.add_argument("--seed", type=int, default=2002,
+                   help="campaign seed (fully determines every fault)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--policy", choices=("profile", "heuristics"),
+                   default="profile")
+    p.add_argument("--tus", type=int, default=16, help="thread units")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-run wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per run")
+    p.add_argument("--checkpoint",
+                   help="JSON checkpoint file; completed runs are resumed")
+    p.add_argument("--report", help="write the JSON degradation report here")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed campaign for CI (overrides sweep args)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-run progress to stderr")
+    p.add_argument("--inject-crash", action="append", metavar="KEY",
+                   help="crash KEY's first attempt (resilience testing; "
+                   "KEY is workload@rate)")
+
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
     p.add_argument("--scale", type=float, default=1.0)
@@ -294,12 +398,17 @@ _COMMANDS = {
     "figure": cmd_figure,
     "lint": cmd_lint,
     "validate-pairs": cmd_validate_pairs,
+    "faults": cmd_faults,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (SimulationError, ExecutionError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

@@ -99,6 +99,20 @@ class ProcessorConfig:
     #: candidate is expected to outrun the parent's segment at all).
     order_check_slack: float = 1.0
 
+    # --- watchdog & fault recovery ---
+    #: Abort with SimulationTimeout once simulated time passes this cycle
+    #: (None = unbounded).  Counters never perturb timing: a run that fits
+    #: the budget is identical to one with no budget.
+    cycle_budget: Optional[int] = None
+    #: Abort with InvariantViolation after this many consecutive event-loop
+    #: steps in which no instruction executed (livelock / forward-progress
+    #: watchdog; None disables it).  The default is far above anything a
+    #: healthy simulation produces.
+    livelock_threshold: Optional[int] = 1_000_000
+    #: Cycles to squash a fault-hit thread and restart it on another unit
+    #: (used only when a FaultInjector is attached).
+    fault_restart_penalty: int = 16
+
     def __post_init__(self) -> None:
         if self.num_thread_units < 1:
             raise ValueError("need at least one thread unit")
@@ -124,6 +138,12 @@ class ProcessorConfig:
             raise ValueError(
                 f"unknown branch predictor {self.branch_predictor!r}"
             )
+        if self.cycle_budget is not None and self.cycle_budget < 1:
+            raise ValueError("cycle_budget must be >= 1 when set")
+        if self.livelock_threshold is not None and self.livelock_threshold < 1:
+            raise ValueError("livelock_threshold must be >= 1 when set")
+        if self.fault_restart_penalty < 0:
+            raise ValueError("fault_restart_penalty cannot be negative")
 
     def with_(self, **overrides) -> "ProcessorConfig":
         """Return a copy with the given fields replaced."""

@@ -21,16 +21,20 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cmt.config import ProcessorConfig
 from repro.cmt.spawn_runtime import SpawnRuntime
 from repro.cmt.stats import SimulationStats, ThreadRecord
 from repro.cmt.thread_unit import ThreadUnit
+from repro.errors import InvariantViolation, SimulationTimeout
 from repro.exec.trace import Trace
 from repro.isa.instructions import FuClass, Opcode, fu_class, latency_of
 from repro.predictors.value import PerfectPredictor, make_value_predictor
 from repro.spawning.pairs import SpawnPair, SpawnPairSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
 
 _INFINITY = float("inf")
 
@@ -106,6 +110,7 @@ class ClusteredProcessor:
         trace: Trace,
         pairs: Optional[SpawnPairSet] = None,
         config: Optional[ProcessorConfig] = None,
+        injector: Optional["FaultInjector"] = None,
     ):
         self.trace = trace
         self.config = config or ProcessorConfig()
@@ -115,12 +120,17 @@ class ClusteredProcessor:
             self.config.value_predictor, self.config.value_predictor_kb
         )
         self.stats = SimulationStats()
+        self.injector = injector
         self._tus = [ThreadUnit(i, self.config) for i in range(self.config.num_thread_units)]
+        if injector is not None:
+            for tu in self._tus:
+                tu.set_fault_windows(injector.blackout_windows(tu.tu_id))
         self._completion: List[Optional[int]] = [None] * len(trace)
         self._order: List[_Thread] = []  # active threads in program order
         self._heap: List = []
         self._last_commit_cycle = 0
         self._next_seq = 0
+        self._executed_total = 0
         if self.config.prime_value_predictor and self.config.value_predictor not in (
             "perfect",
             "none",
@@ -147,11 +157,33 @@ class ClusteredProcessor:
         self._order.append(root)
         self._push(root)
 
+        budget = self.config.cycle_budget
+        stall_limit = self.config.livelock_threshold
+        stalled_events = 0
         while self._heap:
             cycle, _start, thread = heapq.heappop(self._heap)
             if thread.finished or cycle != thread.fetch_cycle:
                 continue  # stale heap entry
+            if budget is not None and cycle > budget:
+                raise SimulationTimeout(
+                    "cycle budget exceeded",
+                    cycle=cycle,
+                    budget=budget,
+                    committed=self.stats.threads_committed,
+                )
+            executed_before = self._executed_total
             self._advance(thread)
+            if self._executed_total == executed_before:
+                stalled_events += 1
+                if stall_limit is not None and stalled_events > stall_limit:
+                    raise InvariantViolation(
+                        "no forward progress (livelock watchdog)",
+                        cycle=cycle,
+                        thread=thread.seq,
+                        stalled_events=stalled_events,
+                    )
+            else:
+                stalled_events = 0
             if not thread.finished:
                 self._push(thread)
 
@@ -166,6 +198,12 @@ class ClusteredProcessor:
         self.stats.value_hits = self.value_predictor.hits
         self.stats.pairs_removed_alone = self.runtime.removed_alone
         self.stats.pairs_removed_min_size = self.runtime.removed_min_size
+        self.stats.spawns_retried = self.runtime.spawn_retries
+        self.stats.spawns_dropped = self.runtime.spawns_dropped
+        self.stats.faults_injected += self.runtime.drop_events
+        if self.injector is not None:
+            self.stats.forward_delays = self.injector.forward_delay_events
+            self.stats.faults_injected += self.injector.forward_delay_events
         return self.stats
 
     # ------------------------------------------------------------------
@@ -193,6 +231,11 @@ class ClusteredProcessor:
         trace = self.trace
         completion = self._completion
         cycle = thread.fetch_cycle
+        if self.injector is not None:
+            dark_until = thread.tu.dark_until(cycle)
+            if dark_until is not None:
+                self._on_blackout(thread, cycle, dark_until)
+                return
         # "Executing alone": fewer than ``removal_coactive_threshold``
         # other active threads are still running and at least one waiter
         # exists (a lone productive tail with idle units wastes nothing).
@@ -240,8 +283,12 @@ class ClusteredProcessor:
                 if producer >= thread.start:
                     when = completion[producer]
                     if when is None:
-                        raise AssertionError(
-                            "internal producer not yet simulated"
+                        raise InvariantViolation(
+                            "internal producer not yet simulated",
+                            cycle=cycle,
+                            thread=thread.seq,
+                            position=pos,
+                            producer=producer,
                         )
                 else:
                     when = self._external_value_time(
@@ -261,8 +308,12 @@ class ClusteredProcessor:
                     if when is None and producer < thread.start:
                         blocked_on = producer
                     elif when is None:
-                        raise AssertionError(
-                            "internal store not yet simulated"
+                        raise InvariantViolation(
+                            "internal store not yet simulated",
+                            cycle=cycle,
+                            thread=thread.seq,
+                            position=pos,
+                            producer=producer,
                         )
                     else:
                         if producer < thread.start:
@@ -318,6 +369,7 @@ class ClusteredProcessor:
 
         thread.cursor = pos
         thread.fetch_cycle = max(next_fetch, cycle + 1 + spawn_penalty)
+        self._executed_total += fetched
         self._track_alone(thread, alone, thread.fetch_cycle - cycle)
         if pos >= thread.join:
             self._finish(thread)
@@ -332,6 +384,84 @@ class ClusteredProcessor:
         ):
             thread.alone_reported = True
             self.runtime.note_alone_threshold(thread.pair, thread.fetch_cycle)
+
+    # ------------------------------------------------------------------
+    # Fault handling (graceful degradation).
+    # ------------------------------------------------------------------
+
+    def _on_blackout(self, thread: _Thread, cycle: int, dark_until: int) -> None:
+        """The thread's unit went dark at ``cycle``.
+
+        Speculative threads are squashed and gracefully degraded: restarted
+        from scratch on a free healthy unit, or folded back into their
+        predecessor's sequential execution.  The architectural head (the
+        oldest active thread) cannot be squashed — its work is already
+        committing — so it waits the window out.  Either way the committed
+        instruction stream is exactly the sequential trace; only timing
+        changes.
+        """
+        self.stats.faults_injected += 1
+        self.stats.tu_blackouts += 1
+        index = self._order.index(thread)
+        if thread.pair is not None and index > 0:
+            target = self._free_tu(cycle)
+            if target is not None:
+                self._restart_on(thread, target, cycle, dark_until)
+                return
+            self._fold_into_predecessor(thread, index, cycle, dark_until)
+            return
+        # Architectural head (or root): stall until the unit returns.
+        thread.fetch_cycle = dark_until
+        self.stats.fault_cycles_lost += dark_until - cycle
+
+    def _restart_on(
+        self, thread: _Thread, target: ThreadUnit, cycle: int, dark_until: int
+    ) -> None:
+        """Squash ``thread`` and restart its whole segment on ``target``.
+
+        Work completed so far is discarded (its issue bookings stay on the
+        dark unit; the segment's completion times are rewritten in program
+        order as the thread re-executes), so every trace position still
+        commits exactly once.
+        """
+        self.stats.threads_degraded += 1
+        self.stats.fault_cycles_lost += max(cycle - thread.start_cycle, 0)
+        thread.tu.free_at = dark_until
+        thread.tu = target
+        target.free_at = _INFINITY
+        restart = cycle + self.config.fault_restart_penalty
+        thread.cursor = thread.start
+        thread.local_index = 0
+        thread.commit_ring = []
+        thread.executed = 0
+        thread.start_cycle = restart
+        thread.last_commit = restart
+        thread.fetch_cycle = restart
+
+    def _fold_into_predecessor(
+        self, thread: _Thread, index: int, cycle: int, dark_until: int
+    ) -> None:
+        """Squash ``thread`` and give its segment back to its predecessor.
+
+        The predecessor simply keeps fetching past its old join point —
+        sequential re-execution of the squashed work, as if the spawn had
+        never happened.  A predecessor that had already finished is
+        reactivated.
+        """
+        pred = self._order[index - 1]
+        self._order.pop(index)
+        pred.join = thread.join
+        thread.finished = True  # drops the thread from the event loop
+        thread.tu.free_at = dark_until
+        for tu in thread.ghost_tus:
+            tu.free_at = cycle
+        thread.ghost_tus = []
+        self.stats.threads_degraded += 1
+        self.stats.fault_cycles_lost += max(cycle - thread.start_cycle, 0)
+        if pred.finished:
+            pred.finished = False
+            pred.fetch_cycle = max(pred.finish_cycle, cycle)
+            self._push(pred)
 
     def _owner_of(self, pos: int) -> Optional[_Thread]:
         """Active thread whose segment contains trace position ``pos``."""
@@ -355,6 +485,9 @@ class ClusteredProcessor:
         if when is None:
             return None
         when += self.config.forward_latency
+        injector = self.injector
+        if injector is not None and injector.forward_rate:
+            when += injector.forward_delay(thread.seq, reg, producer)
         if status == _MISS:
             when += self.config.misprediction_recovery
         return when
@@ -404,7 +537,21 @@ class ClusteredProcessor:
                 self.stats.spawns_rejected_order += 1
                 return 0
 
-        tu = self._free_tu(cycle)
+        # Under fault injection the request may be dropped in the spawn
+        # interconnect; the spawn logic retries with bounded backoff.
+        spawn_cycle = cycle
+        if self._injector_drops_spawns():
+            granted, _retries, delay = self.runtime.request_spawn(
+                self.injector, sp_pc, parent.seq, pos
+            )
+            spawn_cycle = cycle + delay
+            self.stats.fault_cycles_lost += delay
+            if not granted:
+                # The request is abandoned; the backoff cycles still
+                # occupied the parent's front-end.
+                return delay
+
+        tu = self._free_tu(spawn_cycle)
         if tu is None:
             self.stats.spawns_denied_no_tu += 1
             return 0
@@ -420,18 +567,21 @@ class ClusteredProcessor:
                 break
         if chosen is None or occurrence is None:
             if config.spawn_order_check == "exact":
-                # Oracle ordering: the rejected spawn consumes nothing.
+                # Oracle ordering: the rejected spawn consumes nothing
+                # (beyond any interconnect retries already paid).
                 self.stats.spawns_rejected_order += 1
-                return 0
+                return spawn_cycle - cycle
             # Control misspeculation: the hardware spawns and only later
             # discovers the CQIP is never reached; the unit is wasted until
             # the parent exhausts its segment.
             tu.free_at = _INFINITY
             parent.ghost_tus.append(tu)
             self.stats.control_misspeculations += 1
-            return config.spawn_cost
+            return config.spawn_cost + (spawn_cycle - cycle)
 
-        start_cycle = cycle + self.config.spawn_cost + self.config.init_overhead
+        start_cycle = (
+            spawn_cycle + self.config.spawn_cost + self.config.init_overhead
+        )
         child = self._make_thread(
             start=occurrence,
             join=parent.join,
@@ -445,12 +595,20 @@ class ClusteredProcessor:
         self._push(child)
         self.stats.spawns += 1
         self._predict_liveins(child, chosen, spawn_pos=pos)
-        return self.config.spawn_cost
+        return self.config.spawn_cost + (spawn_cycle - cycle)
+
+    def _injector_drops_spawns(self) -> bool:
+        return self.injector is not None and self.injector.spawn_drop_rate > 0
 
     def _free_tu(self, cycle: int) -> Optional[ThreadUnit]:
+        check_dark = self.injector is not None
         best = None
         for tu in self._tus:
-            if tu.free_at <= cycle and (best is None or tu.free_at < best.free_at):
+            if tu.free_at > cycle:
+                continue
+            if check_dark and tu.dark_until(cycle) is not None:
+                continue
+            if best is None or tu.free_at < best.free_at:
                 best = tu
         return best
 
@@ -467,6 +625,7 @@ class ClusteredProcessor:
         """
         trace = self.trace
         vp = self.value_predictor
+        injector = self.injector
         perfect = isinstance(vp, PerfectPredictor)
         predict_nothing = self.config.value_predictor == "none"
         # The predictor was last trained at the most recent commit of this
@@ -516,6 +675,17 @@ class ClusteredProcessor:
                     hit = predicted is not None and predicted == actual
                     vp.record(hit)
                     child.livein_status[reg] = _HIT if hit else _MISS
+                if (
+                    injector is not None
+                    and child.livein_status[reg] == _HIT
+                    and injector.corrupt_livein(child.seq, reg)
+                ):
+                    # The delivered value is corrupted in flight: the
+                    # consumer detects the mismatch and synchronises with
+                    # the producer plus the recovery penalty.
+                    child.livein_status[reg] = _MISS
+                    self.stats.liveins_corrupted += 1
+                    self.stats.faults_injected += 1
             if inst.dst is not None and inst.dst != 0:
                 written.add(inst.dst)
 
@@ -624,9 +794,10 @@ def simulate(
     trace: Trace,
     pairs: Optional[SpawnPairSet] = None,
     config: Optional[ProcessorConfig] = None,
+    injector: Optional["FaultInjector"] = None,
 ) -> SimulationStats:
     """Run one simulation (convenience wrapper)."""
-    return ClusteredProcessor(trace, pairs, config).run()
+    return ClusteredProcessor(trace, pairs, config, injector).run()
 
 
 def single_thread_cycles(

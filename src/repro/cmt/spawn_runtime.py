@@ -32,6 +32,13 @@ class SpawnRuntime:
         self.removed_alone = 0
         self.removed_min_size = 0
         self.revived = 0
+        # --- faulty-spawn-interconnect accounting (fault injection) ---
+        #: Retry attempts spent on requests that eventually went through.
+        self.spawn_retries = 0
+        #: Requests abandoned after exhausting the retry budget.
+        self.spawns_dropped = 0
+        #: Individual dropped attempts (every drop is one fault event).
+        self.drop_events = 0
 
     # ------------------------------------------------------------------
     # Spawn-time queries.
@@ -66,6 +73,28 @@ class SpawnRuntime:
         if self.config.reassign:
             return alive
         return alive[:1]
+
+    def request_spawn(
+        self, injector, sp_pc: int, parent_seq: int, pos: int
+    ) -> Tuple[bool, int, int]:
+        """Present a spawn request to the (possibly faulty) interconnect.
+
+        Under fault injection a request may be dropped; the spawn logic
+        retries with bounded exponential backoff.  Returns
+        ``(granted, retries, delay_cycles)`` — ``delay_cycles`` is the
+        total backoff the request spent waiting, whether or not it was
+        eventually granted.
+        """
+        model = injector.plan.spawn_drop
+        delay = 0
+        for attempt in range(model.max_retries + 1):
+            if not injector.spawn_dropped(sp_pc, parent_seq, pos, attempt):
+                self.spawn_retries += attempt
+                return True, attempt, delay
+            self.drop_events += 1
+            delay += model.backoff << attempt
+        self.spawns_dropped += 1
+        return False, model.max_retries, delay
 
     # ------------------------------------------------------------------
     # Removal policies.

@@ -51,6 +51,25 @@ class SimulationStats:
     busy_cycles: float = 0.0
     thread_sizes: List[int] = field(default_factory=list)
     reassign_fallbacks: int = 0
+    # --- fault injection (all zero unless a FaultInjector is attached) ---
+    #: Total fault events that fired (blackouts hit, dropped spawn
+    #: attempts, corrupted live-ins, delayed forwards).
+    faults_injected: int = 0
+    #: Blackout windows a running thread actually hit.
+    tu_blackouts: int = 0
+    #: Threads squashed and gracefully degraded (restarted on another unit
+    #: or folded back into their predecessor's sequential execution).
+    threads_degraded: int = 0
+    #: Spawn requests abandoned after exhausting their retry budget.
+    spawns_dropped: int = 0
+    #: Retry attempts spent on spawn requests that eventually succeeded.
+    spawns_retried: int = 0
+    #: Predicted live-ins corrupted into the synchronise+recovery path.
+    liveins_corrupted: int = 0
+    #: Cross-thread forwards that suffered an injected delay.
+    forward_delays: int = 0
+    #: Busy cycles of squashed work plus cycles stalled in dark units.
+    fault_cycles_lost: int = 0
     #: Per-thread records, only populated under ``collect_timeline``.
     timeline: List[ThreadRecord] = field(default_factory=list)
 
@@ -99,4 +118,7 @@ class SimulationStats:
             "avg_thread_size": round(self.avg_thread_size, 1),
             "value_hit_rate": round(self.value_hit_rate, 3),
             "branch_hit_rate": round(self.branch_hit_rate, 3),
+            "faults_injected": self.faults_injected,
+            "threads_degraded": self.threads_degraded,
+            "fault_cycles_lost": self.fault_cycles_lost,
         }

@@ -7,7 +7,8 @@ across the threads that run on it (paper Section 4.1).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
 
 from repro.cmt.config import ProcessorConfig
 from repro.isa.instructions import FU_COUNT, FuClass
@@ -37,6 +38,24 @@ class ThreadUnit:
         self._fu_used: Dict[Tuple[FuClass, int], int] = {}
         #: cycle at which the unit becomes free for a new thread.
         self.free_at = 0
+        #: sorted (start, end) cycle windows during which the unit is dark
+        #: (fault injection); empty in a healthy simulation.
+        self.fault_windows: List[Tuple[int, int]] = []
+
+    def set_fault_windows(self, windows: List[Tuple[int, int]]) -> None:
+        """Install the unit's blackout schedule (sorted, non-overlapping)."""
+        self.fault_windows = sorted(windows)
+
+    def dark_until(self, cycle: int) -> Optional[int]:
+        """End of the blackout window covering ``cycle``, if the unit is
+        dark at that cycle; None otherwise."""
+        windows = self.fault_windows
+        if not windows:
+            return None
+        index = bisect_right(windows, (cycle, float("inf"))) - 1
+        if index >= 0 and windows[index][0] <= cycle < windows[index][1]:
+            return windows[index][1]
+        return None
 
     def book_issue(self, earliest: int, fu: FuClass) -> int:
         """Reserve an issue slot and a functional unit.

@@ -1,0 +1,61 @@
+"""Structured error taxonomy for execution and simulation failures.
+
+Every failure a long experiment campaign can encounter maps onto one of
+these classes so the experiment runner (and the CLI) can distinguish
+"this run is broken" from "this run needs more budget" from "the
+simulator itself violated an invariant":
+
+- :class:`ExecutionError` — architectural errors in the functional
+  machine (bad pc, return without call, unimplemented opcode).
+- :class:`SimulationError` — base of every structured simulator failure.
+  Carries a context dict (cycle, thread, workload, ...) rendered into
+  the message so a one-line report is actionable.
+- :class:`SimulationTimeout` — a cycle-budget or wall-clock limit was
+  exceeded; the run may succeed with a larger budget.
+- :class:`InvariantViolation` — the simulator's internal consistency
+  checks failed; always a bug, never data.
+- :class:`WorkloadError` — the workload program itself misbehaved
+  (e.g. did not halt within its step budget).  Subclasses both
+  :class:`SimulationError` and :class:`ExecutionError` so existing
+  ``except ExecutionError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ExecutionError(RuntimeError):
+    """Raised on architectural errors (bad pc, return without call, ...)."""
+
+
+class SimulationError(RuntimeError):
+    """Base class of structured simulator failures.
+
+    Keyword arguments become a ``context`` dict appended to the message,
+    e.g. ``SimulationError("stuck", cycle=12, thread=3)`` renders as
+    ``stuck [cycle=12, thread=3]``.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        self.context: Dict[str, Any] = {
+            key: value for key, value in context.items() if value is not None
+        }
+        if self.context:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.context.items())
+            )
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+
+class SimulationTimeout(SimulationError):
+    """A cycle-budget or wall-clock limit was exceeded."""
+
+
+class InvariantViolation(SimulationError):
+    """The simulator's internal consistency checks failed (always a bug)."""
+
+
+class WorkloadError(SimulationError, ExecutionError):
+    """The workload program misbehaved (e.g. a runaway loop)."""

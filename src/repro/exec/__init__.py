@@ -1,6 +1,15 @@
 """Functional execution of programs into dynamic instruction traces."""
 
-from repro.exec.machine import ExecutionError, Machine, run_program
+from repro.errors import ExecutionError, WorkloadError
+from repro.exec.machine import DEFAULT_MAX_STEPS, Machine, run_program
 from repro.exec.trace import DynInst, Trace
 
-__all__ = ["Machine", "run_program", "ExecutionError", "DynInst", "Trace"]
+__all__ = [
+    "Machine",
+    "run_program",
+    "DEFAULT_MAX_STEPS",
+    "ExecutionError",
+    "WorkloadError",
+    "DynInst",
+    "Trace",
+]

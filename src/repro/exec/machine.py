@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.errors import ExecutionError, WorkloadError
 from repro.exec.trace import DynInst, Trace
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
@@ -17,15 +18,14 @@ from repro.isa.program import Program
 _MASK = (1 << 32) - 1
 _SIGN = 1 << 31
 
+#: Step budget used when the caller does not supply one.
+DEFAULT_MAX_STEPS = 2_000_000
+
 
 def _wrap32(value: int) -> int:
     """Wrap integer results to 32-bit two's complement."""
     value &= _MASK
     return value - (1 << 32) if value & _SIGN else value
-
-
-class ExecutionError(RuntimeError):
-    """Raised on architectural errors (bad pc, return without call, runaway)."""
 
 
 class Machine:
@@ -173,22 +173,28 @@ class Machine:
             next_pc=next_pc,
         )
 
-    def run(self, max_steps: int = 2_000_000) -> Trace:
+    def run(self, max_steps: Optional[int] = None) -> Trace:
         """Execute to HALT, returning the dynamic trace.
 
-        Raises :class:`ExecutionError` if the program does not halt within
-        ``max_steps`` — runaway loops in a workload are a bug, not data.
+        Raises :class:`~repro.errors.WorkloadError` if the program does not
+        halt within ``max_steps`` (default :data:`DEFAULT_MAX_STEPS`) —
+        runaway loops in a workload are a bug, not data.
         """
+        if max_steps is None:
+            max_steps = DEFAULT_MAX_STEPS
         insts: List[DynInst] = []
         for _ in range(max_steps):
             insts.append(self.step())
             if self.halted:
                 return Trace(self.program, insts)
-        raise ExecutionError(
-            f"program {self.program.name!r} did not halt in {max_steps} steps"
+        raise WorkloadError(
+            f"program {self.program.name!r} did not halt",
+            workload=self.program.name,
+            max_steps=max_steps,
+            pc=self.pc,
         )
 
 
-def run_program(program: Program, max_steps: int = 2_000_000) -> Trace:
+def run_program(program: Program, max_steps: Optional[int] = None) -> Trace:
     """Convenience wrapper: execute ``program`` from a fresh machine."""
     return Machine(program).run(max_steps=max_steps)

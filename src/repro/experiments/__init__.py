@@ -11,9 +11,13 @@ from repro.experiments.framework import (
     EXPERIMENT_CONFIG,
     EXPERIMENT_PROFILE_CONFIG,
     FigureResult,
+    ResilientOutcome,
+    SweepCheckpoint,
     baseline_cycles,
     pair_set_for,
+    resilient_sweep,
     run_policy,
+    run_resilient,
 )
 from repro.experiments import figures
 
@@ -21,8 +25,12 @@ __all__ = [
     "EXPERIMENT_CONFIG",
     "EXPERIMENT_PROFILE_CONFIG",
     "FigureResult",
+    "ResilientOutcome",
+    "SweepCheckpoint",
     "baseline_cycles",
     "pair_set_for",
+    "resilient_sweep",
     "run_policy",
+    "run_resilient",
     "figures",
 ]

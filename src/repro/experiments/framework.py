@@ -17,11 +17,19 @@ because our synthetic traces lack SpecInt's cold-code tail, so the paper's
 from __future__ import annotations
 
 import functools
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cmt import ProcessorConfig, simulate
 from repro.cmt.stats import SimulationStats
+from repro.errors import SimulationTimeout
 from repro.exec.trace import Trace
 from repro.spawning import (
     HeuristicConfig,
@@ -157,3 +165,172 @@ def suite(scale: float = 1.0) -> Sequence[str]:
     """Benchmarks in presentation order (the paper's order)."""
     del scale
     return workload_names()
+
+
+# ----------------------------------------------------------------------
+# Hardened execution: wall-clock limits, retries, checkpointed sweeps.
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Raise :class:`SimulationTimeout` if the block runs past ``seconds``.
+
+    Implemented with ``SIGALRM``, so it only arms in the main thread on
+    platforms that have it; elsewhere the block runs unbounded (the
+    in-simulator cycle budget is the portable backstop).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise SimulationTimeout("wall-clock limit exceeded", seconds=seconds)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class ResilientOutcome:
+    """Result of one hardened run: the payload or a structured failure."""
+
+    ok: bool
+    value: Any = None
+    attempts: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "value": self.value,
+            "attempts": self.attempts,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResilientOutcome":
+        return cls(
+            ok=bool(data.get("ok")),
+            value=data.get("value"),
+            attempts=int(data.get("attempts", 0)),
+            error=data.get("error"),
+            error_type=data.get("error_type"),
+        )
+
+
+def run_resilient(
+    task: Callable[[], Any],
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> ResilientOutcome:
+    """Run ``task`` with a per-attempt wall-clock limit and bounded retry.
+
+    A failing attempt (any :class:`Exception`, including the structured
+    ``SimulationError`` family) is retried up to ``retries`` times with
+    exponential backoff; ``KeyboardInterrupt``/``SystemExit`` propagate.
+    Never raises: a run that exhausts its retries is reported as a
+    failed :class:`ResilientOutcome` so a sweep can carry on.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        try:
+            with _wall_clock_limit(timeout):
+                value = task()
+            return ResilientOutcome(ok=True, value=value, attempts=attempt + 1)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            last = exc
+            if attempt < retries and backoff > 0:
+                time.sleep(backoff * (2**attempt))
+    return ResilientOutcome(
+        ok=False,
+        attempts=retries + 1,
+        error=str(last),
+        error_type=type(last).__name__,
+    )
+
+
+class SweepCheckpoint:
+    """JSON store of completed sweep runs, written atomically per record.
+
+    A killed campaign restarts from the checkpoint: completed keys are
+    skipped, half-finished runs simply re-run.  The file maps run key to
+    a :class:`ResilientOutcome` dict.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._outcomes: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            self._outcomes = json.loads(self.path.read_text())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._outcomes
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def get(self, key: str) -> Optional[ResilientOutcome]:
+        data = self._outcomes.get(key)
+        return None if data is None else ResilientOutcome.from_dict(data)
+
+    def record(self, key: str, outcome: ResilientOutcome) -> None:
+        self._outcomes[key] = outcome.to_dict()
+        self._flush()
+
+    def discard(self, key: str) -> None:
+        if self._outcomes.pop(key, None) is not None:
+            self._flush()
+
+    def _flush(self) -> None:
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self._outcomes, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+
+
+def resilient_sweep(
+    tasks: Dict[str, Callable[[], Any]],
+    checkpoint: Optional[SweepCheckpoint] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    progress: Optional[Callable[[str, ResilientOutcome, bool], None]] = None,
+) -> Dict[str, ResilientOutcome]:
+    """Run every task resiliently, checkpointing each completed run.
+
+    ``tasks`` maps a stable run key to a zero-argument callable returning
+    a JSON-serialisable payload.  Keys already present in ``checkpoint``
+    are resumed (not re-run).  ``progress(key, outcome, resumed)`` is
+    called after every run when given.
+    """
+    results: Dict[str, ResilientOutcome] = {}
+    for key, task in tasks.items():
+        resumed = checkpoint is not None and key in checkpoint
+        if resumed:
+            outcome = checkpoint.get(key)
+        else:
+            outcome = run_resilient(
+                task, timeout=timeout, retries=retries, backoff=backoff
+            )
+            if checkpoint is not None:
+                checkpoint.record(key, outcome)
+        results[key] = outcome
+        if progress is not None:
+            progress(key, outcome, resumed)
+    return results

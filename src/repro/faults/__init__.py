@@ -1,0 +1,42 @@
+"""Seeded fault injection for the CMT simulator.
+
+The paper's architectural premise is that speculative threads may be
+wrong and the processor must recover — squash, reassign to the next-best
+CQIP, synchronise on mispredicted live-ins.  This package exercises those
+recovery paths *on purpose*: a :class:`FaultPlan` describes a set of
+deterministic, seed-driven fault models and a :class:`FaultInjector`
+turns the plan into per-event decisions the simulator consults.
+
+Fault models (all reproducible from the plan's single seed):
+
+- :class:`TUBlackoutFault` — a thread unit goes dark for a cycle window;
+  its thread is squashed and gracefully degraded (restarted on a free
+  unit, or folded back into its predecessor's sequential execution).
+- :class:`SpawnDropFault` — spawn requests are dropped in the spawn
+  interconnect and retried with bounded exponential backoff.
+- :class:`LiveinCorruptionFault` — a predicted live-in value is
+  corrupted in flight, forcing the synchronise+recovery (miss) path.
+- :class:`ForwardDelayFault` — inter-thread register forwarding is
+  delayed by extra cycles.
+
+Graceful degradation never changes architectural results — the committed
+instruction stream always equals the sequential trace — only timing.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    FaultPlan,
+    ForwardDelayFault,
+    LiveinCorruptionFault,
+    SpawnDropFault,
+    TUBlackoutFault,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "TUBlackoutFault",
+    "SpawnDropFault",
+    "LiveinCorruptionFault",
+    "ForwardDelayFault",
+]

@@ -1,0 +1,287 @@
+"""Fault-injection campaigns: sweep fault rates, report degradation.
+
+A campaign runs every requested workload at every fault rate through the
+hardened experiment runner (per-run wall-clock timeout, bounded retry,
+checkpoint/resume) and reports speed-up versus fault rate — the
+"degradation curve" of each workload.  Two built-in gates make the
+campaign CI-friendly, like ``repro lint``:
+
+- the zero-rate run must be cycle-for-cycle identical to the faultless
+  simulator (fault plumbing must not perturb a healthy machine);
+- every faulty run must still commit exactly the sequential instruction
+  stream (graceful degradation changes timing, never results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cmt import simulate
+from repro.experiments.framework import (
+    EXPERIMENT_CONFIG,
+    ResilientOutcome,
+    SweepCheckpoint,
+    baseline_cycles,
+    pair_set_for,
+    resilient_sweep,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultPlan
+from repro.workloads import load_trace, workload_names
+
+
+def run_key(workload: str, rate: float) -> str:
+    """Stable checkpoint key of one campaign run."""
+    return f"{workload}@{rate:g}"
+
+
+def workload_seed(seed: int, workload: str) -> int:
+    """Per-workload fault seed derived from the campaign seed."""
+    digest = hashlib.blake2b(
+        f"{seed}:{workload}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Parameters of one fault-injection campaign."""
+
+    workloads: Tuple[str, ...]
+    rates: Tuple[float, ...]
+    seed: int = 2002
+    scale: float = 1.0
+    policy: str = "profile"
+    thread_units: int = 16
+    #: Per-run wall-clock limit in seconds (None = unbounded).
+    timeout: Optional[float] = 120.0
+    retries: int = 2
+    backoff: float = 0.05
+    #: In-simulator cycle budget for faulty runs, as a multiple of the
+    #: workload's faultless cycle count (runaway guard).
+    cycle_budget_factor: int = 50
+
+    @classmethod
+    def smoke(cls, seed: int = 2002) -> "CampaignSpec":
+        """Small fixed-seed campaign for CI (fast, still all-model)."""
+        return cls(
+            workloads=tuple(workload_names()),
+            rates=(0.0, 0.05),
+            seed=seed,
+            scale=0.25,
+            timeout=60.0,
+            retries=1,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign learned, renderable and JSON-serialisable."""
+
+    spec: CampaignSpec
+    #: workload -> {"sequential_cycles", "faultless_cycles"}.
+    reference: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    outcomes: Dict[str, ResilientOutcome] = field(default_factory=dict)
+    resumed: int = 0
+
+    # ------------------------------------------------------------------
+    # Gates.
+    # ------------------------------------------------------------------
+
+    def failures(self) -> List[str]:
+        """Human-readable gate failures (empty = campaign passed)."""
+        problems: List[str] = []
+        for workload in self.spec.workloads:
+            for rate in self.spec.rates:
+                key = run_key(workload, rate)
+                outcome = self.outcomes.get(key)
+                if outcome is None:
+                    problems.append(f"{key}: missing run")
+                    continue
+                if not outcome.ok:
+                    problems.append(
+                        f"{key}: failed after {outcome.attempts} attempts "
+                        f"({outcome.error_type}: {outcome.error})"
+                    )
+                    continue
+                value = outcome.value or {}
+                if not value.get("stream_ok", False):
+                    problems.append(
+                        f"{key}: committed stream diverged from the "
+                        "sequential trace"
+                    )
+                if rate == 0.0:
+                    faultless = self.reference[workload]["faultless_cycles"]
+                    if value.get("cycles") != faultless:
+                        problems.append(
+                            f"{key}: zero-fault run took "
+                            f"{value.get('cycles')} cycles, faultless "
+                            f"simulator took {faultless}"
+                        )
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": {
+                "workloads": list(self.spec.workloads),
+                "rates": list(self.spec.rates),
+                "seed": self.spec.seed,
+                "scale": self.spec.scale,
+                "policy": self.spec.policy,
+                "thread_units": self.spec.thread_units,
+            },
+            "reference": self.reference,
+            "outcomes": {
+                key: outcome.to_dict()
+                for key, outcome in self.outcomes.items()
+            },
+            "resumed": self.resumed,
+            "failures": self.failures(),
+        }
+
+    def render(self) -> str:
+        """ASCII degradation report: speed-up per workload per fault rate."""
+        rates = list(self.spec.rates)
+        lines = [
+            "Fault-injection campaign "
+            f"(seed {self.spec.seed}, scale {self.spec.scale}, "
+            f"{self.spec.thread_units} TUs, policy {self.spec.policy})"
+        ]
+        header = f"{'workload':>10} " + " ".join(
+            f"{f'rate {rate:g}':>10}" for rate in rates
+        )
+        lines.append(header)
+        totals = {
+            "faults_injected": 0,
+            "threads_degraded": 0,
+            "spawns_retried": 0,
+            "spawns_dropped": 0,
+            "fault_cycles_lost": 0,
+        }
+        for workload in self.spec.workloads:
+            cells = []
+            for rate in rates:
+                outcome = self.outcomes.get(run_key(workload, rate))
+                if outcome is None or not outcome.ok:
+                    cells.append(f"{'FAIL':>10}")
+                    continue
+                value = outcome.value or {}
+                cells.append(f"{value.get('speedup', 0.0):>10.2f}")
+                for counter in totals:
+                    totals[counter] += int(value.get(counter, 0))
+            lines.append(f"{workload:>10} " + " ".join(cells))
+        lines.append(
+            f"totals: {totals['faults_injected']} faults injected, "
+            f"{totals['threads_degraded']} threads degraded, "
+            f"{totals['spawns_retried']} spawns retried, "
+            f"{totals['spawns_dropped']} spawns dropped, "
+            f"{totals['fault_cycles_lost']} cycles lost"
+        )
+        if self.resumed:
+            lines.append(f"resumed {self.resumed} runs from checkpoint")
+        failures = self.failures()
+        if failures:
+            lines.append("FAILURES:")
+            lines.extend(f"  {problem}" for problem in failures)
+        else:
+            lines.append("all gates passed")
+        return "\n".join(lines)
+
+
+def _run_payload(spec: CampaignSpec, workload: str, rate: float,
+                 sequential: int, faultless: int) -> Dict[str, Any]:
+    """One campaign run: simulate under the rate's fault plan."""
+    trace = load_trace(workload, spec.scale)
+    pairs = pair_set_for(workload, spec.policy, spec.scale)
+    config = EXPERIMENT_CONFIG.with_(
+        num_thread_units=spec.thread_units,
+        cycle_budget=max(faultless, 1) * spec.cycle_budget_factor,
+    )
+    plan = FaultPlan.uniform(rate, seed=workload_seed(spec.seed, workload))
+    stats = simulate(trace, pairs, config, FaultInjector(plan))
+    return {
+        "cycles": stats.cycles,
+        "speedup": round(sequential / stats.cycles, 4) if stats.cycles else 0.0,
+        "stream_ok": sum(stats.thread_sizes) == len(trace),
+        "faults_injected": stats.faults_injected,
+        "tu_blackouts": stats.tu_blackouts,
+        "threads_degraded": stats.threads_degraded,
+        "spawns_retried": stats.spawns_retried,
+        "spawns_dropped": stats.spawns_dropped,
+        "liveins_corrupted": stats.liveins_corrupted,
+        "forward_delays": stats.forward_delays,
+        "fault_cycles_lost": stats.fault_cycles_lost,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    crash_keys: Tuple[str, ...] = (),
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign, resuming completed runs from ``checkpoint``.
+
+    ``crash_keys`` lists run keys whose *first* attempt raises an
+    injected crash — a deterministic way to exercise (and test) the
+    retry path end to end.
+    """
+    result = CampaignResult(spec=spec)
+    crash_budget = {key: 1 for key in crash_keys}
+
+    tasks: Dict[str, Callable[[], Any]] = {}
+    for workload in spec.workloads:
+        config = EXPERIMENT_CONFIG.with_(num_thread_units=spec.thread_units)
+        trace = load_trace(workload, spec.scale)
+        pairs = pair_set_for(workload, spec.policy, spec.scale)
+        sequential = baseline_cycles(workload, config, spec.scale)
+        faultless = simulate(trace, pairs, config).cycles
+        result.reference[workload] = {
+            "sequential_cycles": sequential,
+            "faultless_cycles": faultless,
+        }
+        for rate in spec.rates:
+            key = run_key(workload, rate)
+
+            def task(workload=workload, rate=rate, key=key,
+                     sequential=sequential, faultless=faultless):
+                if crash_budget.get(key, 0) > 0:
+                    crash_budget[key] -= 1
+                    raise RuntimeError(f"injected worker crash in {key}")
+                return _run_payload(spec, workload, rate, sequential, faultless)
+
+            tasks[key] = task
+
+    def note(key: str, outcome: ResilientOutcome, resumed: bool) -> None:
+        if resumed:
+            result.resumed += 1
+        if progress is not None:
+            status = "resumed" if resumed else (
+                "ok" if outcome.ok else "FAILED"
+            )
+            retry = (
+                f" ({outcome.attempts} attempts)"
+                if not resumed and outcome.attempts > 1
+                else ""
+            )
+            progress(f"{key}: {status}{retry}")
+
+    result.outcomes = resilient_sweep(
+        tasks,
+        checkpoint=checkpoint,
+        timeout=spec.timeout,
+        retries=spec.retries,
+        backoff=spec.backoff,
+        progress=note,
+    )
+    return result

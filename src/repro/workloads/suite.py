@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.exec import Trace, run_program
 from repro.isa.program import Program
@@ -66,11 +66,18 @@ def build_workload(
 
 
 @functools.lru_cache(maxsize=32)
-def load_trace(name: str, scale: float = 1.0, dataset: str = "train") -> Trace:
+def load_trace(
+    name: str,
+    scale: float = 1.0,
+    dataset: str = "train",
+    max_steps: Optional[int] = None,
+) -> Trace:
     """Build, execute and cache the named workload's dynamic trace.
 
     Traces are deterministic for a given (name, scale, dataset), so caching
     is safe and keeps experiment sweeps from re-running the functional
-    simulation.
+    simulation.  ``max_steps`` bounds the functional execution; a workload
+    that does not halt within it raises
+    :class:`~repro.errors.WorkloadError`.
     """
-    return run_program(build_workload(name, scale, dataset))
+    return run_program(build_workload(name, scale, dataset), max_steps=max_steps)

@@ -122,6 +122,16 @@ class TestControl:
         with pytest.raises(ExecutionError):
             run_program(assemble("loop: jump loop\nhalt"), max_steps=100)
 
+    def test_runaway_is_a_workload_error_with_context(self):
+        from repro.errors import SimulationError, WorkloadError
+
+        with pytest.raises(WorkloadError) as info:
+            run_program(assemble("loop: jump loop\nhalt"), max_steps=5)
+        # structured: catchable as either family, carries the budget
+        assert isinstance(info.value, ExecutionError)
+        assert isinstance(info.value, SimulationError)
+        assert "max_steps=5" in str(info.value)
+
     def test_step_after_halt_raises(self):
         machine = Machine(assemble("halt"))
         machine.step()

@@ -1,0 +1,141 @@
+"""Hardened experiment runner: retries, timeouts, checkpoint/resume."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import SimulationTimeout
+from repro.experiments import (
+    ResilientOutcome,
+    SweepCheckpoint,
+    resilient_sweep,
+    run_resilient,
+)
+
+
+class TestRunResilient:
+    def test_success_first_try(self):
+        outcome = run_resilient(lambda: 41 + 1)
+        assert outcome.ok
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+        assert outcome.error is None
+
+    def test_flaky_task_survives_via_retry(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        outcome = run_resilient(flaky, retries=2, backoff=0.001)
+        assert outcome.ok
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+
+    def test_permanent_failure_reported_not_raised(self):
+        def broken():
+            raise ValueError("always wrong")
+
+        outcome = run_resilient(broken, retries=1, backoff=0.0)
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.error_type == "ValueError"
+        assert "always wrong" in outcome.error
+
+    def test_wall_clock_timeout(self):
+        def slow():
+            time.sleep(5)
+
+        outcome = run_resilient(slow, timeout=0.05, retries=0)
+        assert not outcome.ok
+        assert outcome.error_type == "SimulationTimeout"
+
+    def test_keyboard_interrupt_propagates(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient(interrupted)
+
+    def test_outcome_round_trip(self):
+        outcome = ResilientOutcome(ok=False, attempts=3, error="x",
+                                   error_type="RuntimeError")
+        assert ResilientOutcome.from_dict(outcome.to_dict()) == outcome
+
+
+class TestSweepCheckpoint:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("a@0", ResilientOutcome(ok=True, value={"cycles": 5}))
+        assert "a@0" in ckpt
+
+        reloaded = SweepCheckpoint(path)
+        assert "a@0" in reloaded
+        assert reloaded.get("a@0").value == {"cycles": 5}
+        assert reloaded.get("missing") is None
+
+    def test_discard(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("a@0", ResilientOutcome(ok=True))
+        ckpt.discard("a@0")
+        assert "a@0" not in SweepCheckpoint(path)
+
+    def test_file_is_valid_json_after_every_record(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        for i in range(3):
+            ckpt.record(f"run{i}", ResilientOutcome(ok=True, value=i))
+            data = json.loads(path.read_text())
+            assert len(data) == i + 1
+        assert not path.with_suffix(".json.tmp").exists()
+
+
+class TestResilientSweep:
+    def test_all_tasks_run_and_checkpointed(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "ckpt.json")
+        results = resilient_sweep(
+            {"a": lambda: 1, "b": lambda: 2}, checkpoint=ckpt
+        )
+        assert results["a"].value == 1
+        assert results["b"].value == 2
+        assert len(ckpt) == 2
+
+    def test_resume_skips_completed_runs(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("done", ResilientOutcome(ok=True, value="cached"))
+
+        calls = []
+        seen = []
+
+        def progress(key, outcome, resumed):
+            seen.append((key, resumed))
+
+        results = resilient_sweep(
+            {
+                "done": lambda: calls.append("done") or "fresh",
+                "todo": lambda: calls.append("todo") or "new",
+            },
+            checkpoint=SweepCheckpoint(path),
+            progress=progress,
+        )
+        assert calls == ["todo"]  # "done" was resumed, not re-run
+        assert results["done"].value == "cached"
+        assert results["todo"].value == "new"
+        assert ("done", True) in seen and ("todo", False) in seen
+
+    def test_failed_task_does_not_stop_sweep(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        results = resilient_sweep(
+            {"bad": broken, "good": lambda: "ok"}, retries=0, backoff=0.0
+        )
+        assert not results["bad"].ok
+        assert results["good"].ok

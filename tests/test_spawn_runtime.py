@@ -120,6 +120,107 @@ class TestCoactiveThreshold:
         assert aggressive.pairs_removed_alone >= gentle.pairs_removed_alone
 
 
+class TestRevivalBoundary:
+    """Exact semantics of the revival window edge."""
+
+    def test_revival_exactly_at_threshold(self):
+        pair = _pair(1, 2)
+        rt = _runtime([pair], removal_cycles=50, removal_revival_cycles=100)
+        rt.note_alone_threshold(pair, cycle=10)
+        # one cycle short of the revival period: still removed
+        assert rt.candidates(1, cycle=109) == []
+        assert rt.revived == 0
+        # exactly removal_revival_cycles later: revived
+        assert [p.cqip_pc for p in rt.candidates(1, cycle=110)] == [2]
+        assert rt.revived == 1
+
+    def test_occurrence_counter_resets_on_revival(self):
+        pair = _pair(1, 2)
+        rt = _runtime(
+            [pair],
+            removal_cycles=50,
+            removal_occurrences=2,
+            removal_revival_cycles=100,
+        )
+        assert rt.note_alone_threshold(pair, cycle=0) is False
+        assert rt.note_alone_threshold(pair, cycle=5) is True  # 2nd strike
+        rt.candidates(1, cycle=200)  # revival clears the strike count
+        # the revived pair gets a fresh occurrence budget
+        assert rt.note_alone_threshold(pair, cycle=210) is False
+        assert rt.note_alone_threshold(pair, cycle=220) is True
+
+    def test_delayed_removal_interleaved_pairs(self):
+        """Occurrence counts are tracked per pair, not globally."""
+        a, b = _pair(1, 2), _pair(5, 6)
+        rt = _runtime([a, b], removal_cycles=50, removal_occurrences=2)
+        assert rt.note_alone_threshold(a) is False
+        assert rt.note_alone_threshold(b) is False
+        assert rt.note_alone_threshold(a) is True
+        assert rt.candidates(1) == []
+        assert rt.candidates(5)  # b has only one strike
+
+
+class TestProcessorReassignment:
+    """End-to-end reassign: walk the CQIP alternatives, fall through all."""
+
+    def _loop_trace(self):
+        from repro.exec import run_program
+        from repro.isa import ProgramBuilder
+
+        b = ProgramBuilder("reassign")
+        i, acc = b.reg("i"), b.reg("acc")
+        with b.for_range(i, 0, 16):
+            for _ in range(12):
+                b.addi(acc, acc, 1)
+        b.halt()
+        return run_program(b.build())
+
+    def test_fallback_to_second_cqip(self):
+        from repro.cmt import ProcessorConfig, simulate
+
+        trace = self._loop_trace()
+        head = min(trace.program.loop_heads())
+        never_pc = max(inst.pc for inst in trace) + 100  # unreachable CQIP
+        pairs = SpawnPairSet([
+            _pair(head, never_pc, 99),  # preferred but never occurs
+            _pair(head, head, 10),      # viable alternative
+        ])
+        stats = simulate(trace, pairs, ProcessorConfig(reassign=True))
+        assert stats.reassign_fallbacks > 0
+        assert stats.spawns > 0
+        assert sum(stats.thread_sizes) == len(trace)
+
+    def test_all_alternatives_exhausted_is_a_ghost(self):
+        from repro.cmt import ProcessorConfig, simulate
+
+        trace = self._loop_trace()
+        head = min(trace.program.loop_heads())
+        never = max(inst.pc for inst in trace) + 100
+        pairs = SpawnPairSet([
+            _pair(head, never, 99),
+            _pair(head, never + 1, 10),
+        ])
+        stats = simulate(trace, pairs, ProcessorConfig(reassign=True))
+        # every candidate's CQIP is unreachable: the hardware misspawns
+        assert stats.spawns == 0
+        assert stats.control_misspeculations > 0
+        assert sum(stats.thread_sizes) == len(trace)
+
+    def test_exact_check_rejects_instead_of_ghosting(self):
+        from repro.cmt import ProcessorConfig, simulate
+
+        trace = self._loop_trace()
+        head = min(trace.program.loop_heads())
+        never = max(inst.pc for inst in trace) + 100
+        pairs = SpawnPairSet([_pair(head, never, 99)])
+        stats = simulate(
+            trace, pairs,
+            ProcessorConfig(reassign=True, spawn_order_check="exact"),
+        )
+        assert stats.control_misspeculations == 0
+        assert stats.spawns_rejected_order > 0
+
+
 class TestMinSizeRemoval:
     def test_small_threads_remove_their_pair(self):
         pair = _pair(1, 2)
