@@ -1,0 +1,49 @@
+"""Engine/cache performance benchmark — the BENCH_parallel.json source.
+
+Unlike the ``test_figNN_*`` modules (one figure's *shape* each), this
+module measures the experiment *infrastructure*: jobs=1 vs jobs=N
+wall-clock and cold- vs warm-cache hit rates over one small figure
+sweep, asserting the guarantees the engine makes (identical results in
+every phase, a fully warm second pass).  The CLI equivalent, which CI
+runs and archives, is::
+
+    python -m repro bench --smoke --jobs 2
+
+Run directly with ``pytest benchmarks/bench_perf.py`` (no
+pytest-benchmark fixtures needed — phases time themselves).
+"""
+
+from repro.experiments.bench import run_bench, write_bench_report
+
+#: Smaller than BENCH_SCALE: four phases each run the whole grid.
+PERF_SCALE = 0.15
+
+
+def test_bench_phases_agree_and_cache_warms(tmp_path):
+    report = run_bench(
+        figure="figure3",
+        scale=PERF_SCALE,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+    )
+
+    assert report["equal_results"], "jobs/cache phases diverged"
+
+    phases = report["phases"]
+    assert set(phases) == {
+        "jobs1_cold", "jobs1_warm", "jobsN_cold", "jobsN_warm",
+    }
+    # The cold pass populates the cache; the warm pass is all hits.
+    assert phases["jobs1_cold"]["cache"]["puts"] > 0
+    assert phases["jobs1_warm"]["cache"]["misses"] == 0
+    assert phases["jobs1_warm"]["cache_hit_rate"] == 1.0
+    assert phases["jobsN_warm"]["cache_hit_rate"] == 1.0
+    # Warm must not be slower than cold by more than measurement noise.
+    assert (
+        phases["jobs1_warm"]["seconds"]
+        <= phases["jobs1_cold"]["seconds"] + 0.5
+    )
+    assert report["warm_speedup_jobs1"] >= 1.0
+
+    out = write_bench_report(report, tmp_path / "BENCH_parallel.json")
+    assert out.is_file() and out.stat().st_size > 0

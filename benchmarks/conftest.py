@@ -5,6 +5,11 @@ the workloads so the full harness completes in minutes; run
 ``python scripts/generate_experiments.py`` for the full-scale sweep that
 produces EXPERIMENTS.md.
 
+``bench_perf.py`` is the odd one out: it benchmarks the experiment
+infrastructure itself (parallel engine + artifact cache) rather than a
+figure, and backs the ``repro bench`` CLI that CI archives as
+``BENCH_parallel.json``.
+
 Reduced scale perturbs per-benchmark results in a paper-faithful way:
 loops whose trip counts shrink below ~20 fall under the profile policy's
 0.95 reaching-probability threshold (e.g. ijpeg's block loop at 0.3x has

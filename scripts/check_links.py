@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Check the repository's Markdown links.
+
+Walks the given Markdown files (default: ``docs/*.md`` plus the
+top-level ``*.md``), extracts every ``[text](target)`` link, and fails
+when a *local* target does not exist relative to the file that links to
+it.  ``http(s)``/``mailto`` links are not fetched — only noted — so the
+check is fast and deterministic for CI:
+
+    python scripts/check_links.py            # default file set
+    python scripts/check_links.py docs/*.md  # explicit set
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing parenthesis.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _targets(path: Path) -> List[str]:
+    text = path.read_text()
+    # Strip fenced code blocks: their parentheses are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return _LINK.findall(text)
+
+
+def check_links(paths: Iterable[Path]) -> Tuple[int, List[str]]:
+    """Check every file; returns (links checked, broken-link messages)."""
+    checked = 0
+    broken: List[str] = []
+    for path in paths:
+        for target in _targets(path):
+            checked += 1
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (path.parent / local).resolve()
+            if not resolved.exists():
+                broken.append(
+                    f"{path.relative_to(REPO)}: broken link -> {target}"
+                )
+    return checked, broken
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        paths = [Path(arg).resolve() for arg in argv]
+    else:
+        paths = sorted((REPO / "docs").glob("*.md")) + sorted(
+            REPO.glob("*.md")
+        )
+    checked, broken = check_links(paths)
+    for message in broken:
+        print(message, file=sys.stderr)
+    print(f"checked {checked} links in {len(paths)} files, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Generate docs/api.md: the public API index of the repro package.
+
+AST-based (nothing is imported), so it works on any checkout and its
+output is a pure function of the source tree — run it after changing a
+public signature or docstring:
+
+    python scripts/gen_api_docs.py          # rewrites docs/api.md
+    python scripts/gen_api_docs.py --check  # exit 1 if api.md is stale
+
+For every module it lists the public classes (with their public
+methods) and functions, each with its signature and the first line of
+its docstring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+OUT = REPO / "docs" / "api.md"
+
+HEADER = """# API index
+
+Public modules, classes and functions of the `repro` package, with
+each symbol's signature and one-line summary.  Generated — do not edit
+by hand; regenerate with:
+
+```bash
+python scripts/gen_api_docs.py
+```
+"""
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _signature(node: ast.AST) -> str:
+    """Render a def's parameter list (defaults elided to ``=...``)."""
+    args = node.args
+    parts: List[str] = []
+    positional = args.posonlyargs + args.args
+    defaults_from = len(positional) - len(args.defaults)
+    for index, arg in enumerate(positional):
+        token = arg.arg
+        if index >= defaults_from:
+            token += "=..."
+        parts.append(token)
+    if args.vararg:
+        parts.append(f"*{args.vararg.arg}")
+    elif args.kwonlyargs:
+        parts.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        token = arg.arg
+        if default is not None:
+            token += "=..."
+        parts.append(token)
+    if args.kwarg:
+        parts.append(f"**{args.kwarg.arg}")
+    return ", ".join(p for p in parts if p not in ("self", "cls"))
+
+
+def _summary(node: ast.AST) -> str:
+    doc = ast.get_docstring(node, clean=True)
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def _module_lines(module: str, path: Path) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    lines = [f"## `{module}`", ""]
+    summary = _summary(tree)
+    if summary:
+        lines += [summary, ""]
+    emitted = False
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _public(node.name):
+            emitted = True
+            lines.append(f"- **class `{node.name}`** — {_summary(node)}")
+            for member in node.body:
+                if (
+                    isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _public(member.name)
+                ):
+                    lines.append(
+                        f"  - `{member.name}({_signature(member)})` — "
+                        f"{_summary(member)}"
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _public(node.name):
+                emitted = True
+                lines.append(
+                    f"- `{node.name}({_signature(node)})` — {_summary(node)}"
+                )
+    if not emitted:
+        return []
+    lines.append("")
+    return lines
+
+
+def render() -> str:
+    """Build the whole api.md text from the source tree."""
+    sections: List[str] = [HEADER]
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        parts = path.relative_to(SRC).with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if any(p.startswith("_") for p in parts[1:]):
+            continue
+        module = ".".join(parts)
+        lines = _module_lines(module, path)
+        if lines:
+            sections.append("\n".join(lines))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify docs/api.md is up to date (exit 1 if "
+                        "stale) instead of writing it")
+    args = parser.parse_args(argv)
+    text = render()
+    if args.check:
+        current = OUT.read_text() if OUT.exists() else ""
+        if current != text:
+            print("docs/api.md is stale; run scripts/gen_api_docs.py",
+                  file=sys.stderr)
+            return 1
+        print("docs/api.md is up to date")
+        return 0
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(text)
+    print(f"wrote {OUT.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

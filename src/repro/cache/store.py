@@ -1,0 +1,313 @@
+"""Content-addressed on-disk artifact cache with an in-process LRU front.
+
+The cache memoizes the expensive derived inputs of an experiment sweep —
+assembled programs, sequential traces, profile/pair selections, baseline
+cycle counts, and whole simulation points — so that repeated sweeps (and
+parallel workers attacking the same sweep) never re-derive an artifact.
+
+Keys are blake2b digests of a canonical JSON encoding of
+``(schema version, generator version, artifact kind, key fields)``; the
+key fields carry every knob that can influence the artifact (workload
+name, scale, dataset, policy parameters, processor-configuration
+overrides).  Changing any knob — or any generator source file, via
+:func:`~repro.cache.version.generator_version` — produces a different
+key, so invalidation is automatic and stale entries are merely unused.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers can
+share one cache directory; a duplicate write of the same key is
+byte-identical by construction (serialisation is canonical), so the race
+is benign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+__all__ = ["ArtifactCache", "CacheStats", "canonical_key_fields"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+#: Pickle protocol pinned for byte-stable artifacts across interpreter
+#: minor versions that share the protocol.
+_PICKLE_PROTOCOL = 4
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to deterministically JSON-encodable primitives."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_key_fields(fields: Dict[str, Any]) -> str:
+    """Return the canonical JSON encoding of key fields (sorted, compact)."""
+    return json.dumps(_canonical(fields), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Codecs: one (extension, dumps, loads) per artifact kind.
+# ----------------------------------------------------------------------
+
+
+def _pickle_dumps(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+
+
+def _trace_dumps(trace: Any) -> bytes:
+    # Serialise only the canonical (program, instructions) pair: a trace's
+    # lazily-built indexes depend on access history and would make the
+    # bytes nondeterministic; they are rebuilt on demand after loading.
+    return pickle.dumps((trace.program, trace.insts), protocol=_PICKLE_PROTOCOL)
+
+
+def _trace_loads(blob: bytes) -> Any:
+    from repro.exec.trace import Trace
+
+    program, insts = pickle.loads(blob)
+    return Trace(program, insts)
+
+
+def _pairs_dumps(pairs: Any) -> bytes:
+    from repro.spawning import pair_set_to_dict
+
+    return json.dumps(
+        pair_set_to_dict(pairs), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _pairs_loads(blob: bytes) -> Any:
+    from repro.spawning import pair_set_from_dict
+
+    return pair_set_from_dict(json.loads(blob.decode("utf-8")))
+
+
+def _json_dumps(value: Any) -> bytes:
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _json_loads(blob: bytes) -> Any:
+    return json.loads(blob.decode("utf-8"))
+
+
+#: kind -> (file extension, dumps, loads).
+_CODECS: Dict[str, Tuple[str, Callable[[Any], bytes], Callable[[bytes], Any]]] = {
+    "program": ("pkl", _pickle_dumps, pickle.loads),
+    "trace": ("pkl", _trace_dumps, _trace_loads),
+    "profile": ("pkl", _pickle_dumps, pickle.loads),
+    "pairs": ("json", _pairs_dumps, _pairs_loads),
+    "baseline": ("json", _json_dumps, _json_loads),
+    "point": ("json", _json_dumps, _json_loads),
+}
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served from memory or disk."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the flat JSON-friendly counters (for bench reports)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _DiskKind:
+    """Aggregate on-disk footprint of one artifact kind."""
+
+    entries: int = 0
+    bytes: int = 0
+
+
+class ArtifactCache:
+    """Content-addressed artifact store: disk persistence + LRU memory.
+
+    Args:
+        root: Cache directory (created on demand).  Artifacts live in one
+            subdirectory per kind, named ``<digest>.<ext>``.
+        memory_entries: Capacity of the in-process LRU front (0 disables
+            it; every hit then deserialises from disk).
+
+    The public surface is :meth:`get_or_create` — look up an artifact by
+    its key fields and build-and-store it on a miss — plus the
+    introspection helpers backing ``repro cache {stats,clear,warm}``.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], memory_entries: int = 256
+    ) -> None:
+        self.root = Path(root)
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Keys and paths.
+    # ------------------------------------------------------------------
+
+    def key(self, kind: str, **fields: Any) -> str:
+        """Return the content digest of (schema, generator, kind, fields)."""
+        from repro.cache.version import SCHEMA_VERSION, generator_version
+
+        if kind not in _CODECS:
+            raise KeyError(
+                f"unknown artifact kind {kind!r}; choose from {list(_CODECS)}"
+            )
+        payload = canonical_key_fields(
+            {
+                "schema": SCHEMA_VERSION,
+                "generator": generator_version(),
+                "kind": kind,
+                "fields": fields,
+            }
+        )
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def path(self, kind: str, key: str) -> Path:
+        """Return the on-disk location of the artifact ``(kind, key)``."""
+        ext = _CODECS[kind][0]
+        return self.root / kind / f"{key}.{ext}"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+
+    def lookup(self, kind: str, key: str) -> Any:
+        """Return ``(kind, key)`` or the ``_MISSING`` sentinel; no build."""
+        memo_key = (kind, key)
+        if memo_key in self._memory:
+            self._memory.move_to_end(memo_key)
+            self.stats.memory_hits += 1
+            return self._memory[memo_key]
+        path = self.path(kind, key)
+        if path.exists():
+            value = _CODECS[kind][2](path.read_bytes())
+            self.stats.disk_hits += 1
+            self._remember(memo_key, value)
+            return value
+        return _MISSING
+
+    def store(self, kind: str, key: str, value: Any) -> Path:
+        """Serialise ``value`` under ``(kind, key)``; atomic write.
+
+        Returns:
+            The artifact's on-disk path.
+        """
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = _CODECS[kind][1](value)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        self._remember((kind, key), value)
+        return path
+
+    def get_or_create(
+        self, kind: str, build: Callable[[], Any], **fields: Any
+    ) -> Any:
+        """Return the cached artifact for ``fields``, building on a miss.
+
+        Args:
+            kind: Artifact kind (``program``, ``trace``, ``profile``,
+                ``pairs``, ``baseline`` or ``point``).
+            build: Zero-argument callable producing the artifact.
+            **fields: Every knob that influences the artifact's content.
+
+        Returns:
+            The cached (or freshly built and stored) artifact.
+        """
+        key = self.key(kind, **fields)
+        value = self.lookup(kind, key)
+        if value is not _MISSING:
+            return value
+        self.stats.misses += 1
+        value = build()
+        self.store(kind, key, value)
+        return value
+
+    def _remember(self, memo_key: Tuple[str, str], value: Any) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[memo_key] = value
+        self._memory.move_to_end(memo_key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance (the ``repro cache`` CLI).
+    # ------------------------------------------------------------------
+
+    def disk_summary(self) -> Dict[str, _DiskKind]:
+        """Return per-kind entry counts and byte totals currently on disk."""
+        summary: Dict[str, _DiskKind] = {}
+        for kind in _CODECS:
+            kind_dir = self.root / kind
+            if not kind_dir.is_dir():
+                continue
+            agg = _DiskKind()
+            for entry in kind_dir.iterdir():
+                if entry.is_file() and ".tmp" not in entry.name:
+                    agg.entries += 1
+                    agg.bytes += entry.stat().st_size
+            if agg.entries:
+                summary[kind] = agg
+        return summary
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cached artifacts (one kind, or everything); returns count."""
+        kinds = [kind] if kind is not None else list(_CODECS)
+        removed = 0
+        for k in kinds:
+            kind_dir = self.root / k
+            if not kind_dir.is_dir():
+                continue
+            for entry in kind_dir.iterdir():
+                if entry.is_file():
+                    entry.unlink()
+                    removed += 1
+        self._memory.clear()
+        return removed
+
+    def reset_stats(self) -> CacheStats:
+        """Swap in fresh hit/miss counters; returns the old ones."""
+        old, self.stats = self.stats, CacheStats()
+        return old

@@ -21,18 +21,27 @@ Commands
     Statically validate a spawning-pair table against the program.
 ``faults``
     Run a fault-injection campaign and print the degradation report.
+``exp``
+    Reproduce a figure through the parallel engine (``--jobs``,
+    ``--cache-dir``, ``--checkpoint``).
+``cache {stats,clear,warm}``
+    Inspect, empty, or pre-populate the on-disk artifact cache.
+``bench``
+    Benchmark the parallel engine and cache; writes
+    ``BENCH_parallel.json``.
 
 Exit codes
 ----------
 
 All commands return 0 on success and 2 on a usage error (argparse).
 ``lint`` additionally returns 1 when any error-severity diagnostic is
-emitted (or any warning under ``--strict``), ``validate-pairs`` returns
-1 when any pair has an error-severity finding, and ``faults`` returns 1
-when a campaign gate fails — all three are safe to gate CI on.
-Structured simulation/execution failures (timeouts, invariant
-violations, runaway workloads) exit 3 with a one-line message instead
-of a traceback.
+emitted (or any warning under ``--strict``; with ``--docstrings`` it is
+warn-only unless ``--strict``), ``validate-pairs`` returns 1 when any
+pair has an error-severity finding, and ``faults`` returns 1 when a
+campaign gate fails — all three are safe to gate CI on.  ``bench``
+returns 1 when the phases disagree on figure results.  Structured
+simulation/execution failures (timeouts, invariant violations, runaway
+workloads) exit 3 with a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -199,9 +208,19 @@ def cmd_lint(args) -> int:
         for rule, (severity, doc) in LINT_RULES.items():
             print(f"{rule:24s} {severity.label():7s} {doc}")
         return 0
+    if args.docstrings:
+        from repro.analysis.docstrings import audit_docstrings
+
+        issues = audit_docstrings()
+        for issue in issues:
+            print(f"  {issue.format()}")
+        warnings = sum(1 for i in issues if i.severity == "warning")
+        infos = len(issues) - warnings
+        print(f"docstrings: {warnings} warning(s), {infos} info(s)")
+        return 1 if args.strict and warnings else 0
     if args.workload is None:
-        print("lint: a workload is required (or --list-rules)",
-              file=sys.stderr)
+        print("lint: a workload is required (or --list-rules, "
+              "--docstrings)", file=sys.stderr)
         return 2
     program = build_workload(args.workload, args.scale)
     try:
@@ -267,6 +286,8 @@ def cmd_faults(args) -> int:
         progress=(lambda line: print(line, file=sys.stderr))
         if args.verbose
         else None,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     print(result.render())
     if args.report:
@@ -287,6 +308,127 @@ def cmd_figure(args) -> int:
         return 2
     print(ALL_FIGURES[args.name](args.scale).render())
     return 0
+
+
+def _normalize_figure(token: str) -> str:
+    """Map ``8``/``5a``/``figure8`` to the figure-driver name."""
+    token = token.strip().lower()
+    return token if token.startswith("figure") or not token[:1].isdigit() \
+        else f"figure{token}"
+
+
+def _default_cache_dir() -> str:
+    import os
+
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def cmd_exp(args) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.framework import SweepCheckpoint
+    from repro.experiments.engine import ParallelEngine, run_figure
+
+    figure = _normalize_figure(args.fig)
+    if figure not in ALL_FIGURES:
+        print(f"unknown figure {args.fig!r}; pick from "
+              f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    engine = ParallelEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+    progress = None
+    if args.verbose:
+        def progress(key, outcome, resumed):
+            state = ("resumed" if resumed
+                     else "ok" if outcome.ok else "FAILED")
+            print(f"  {key}: {state}", file=sys.stderr)
+    result = run_figure(
+        figure, args.scale, engine, checkpoint=checkpoint, progress=progress
+    )
+    print(result.render())
+    if engine.cache is not None:
+        events = engine.cache_events
+        print(
+            f"cache: {events['memory_hits']} memory hits, "
+            f"{events['disk_hits']} disk hits, {events['misses']} misses "
+            f"({engine.cache_hit_rate():.0%} hit rate)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.cache import ArtifactCache, SCHEMA_VERSION, generator_version
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "stats":
+        print(f"cache directory   {cache.root}")
+        print(f"schema version    {SCHEMA_VERSION}")
+        print(f"generator version {generator_version()}")
+        total_entries = total_bytes = 0
+        for kind, info in sorted(cache.disk_summary().items()):
+            print(f"  {kind:10s} {info.entries:5d} entries "
+                  f"{info.bytes:12d} bytes")
+            total_entries += info.entries
+            total_bytes += info.bytes
+        print(f"  {'total':10s} {total_entries:5d} entries "
+              f"{total_bytes:12d} bytes")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear(args.kind)
+        print(f"removed {removed} artifact(s) from {cache.root}")
+        return 0
+    # warm: derive trace + pair-set artifacts for the whole suite so a
+    # following sweep starts from a hot cache.
+    from repro.experiments import framework
+
+    with framework.use_cache(cache):
+        for name in framework.suite(args.scale):
+            framework.trace_for(name, args.scale)
+            for policy in ("profile", "heuristics"):
+                framework.pair_set_for(name, policy, args.scale)
+            if args.verbose:
+                print(f"  warmed {name}", file=sys.stderr)
+    framework.clear_memos()
+    stats = cache.stats
+    print(f"warmed {cache.root}: {stats.puts} artifact(s) written, "
+          f"{stats.hits} already present")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import tempfile
+
+    from repro.experiments.bench import run_bench, write_bench_report
+
+    figure = _normalize_figure(args.fig)
+    scale = 0.2 if args.smoke and args.scale is None else (args.scale or 0.3)
+    progress = (lambda line: print(line, file=sys.stderr))
+
+    def bench(cache_dir: str):
+        return run_bench(
+            figure=figure,
+            scale=scale,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+
+    if args.cache_dir:
+        report = bench(args.cache_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            report = bench(tmp)
+    path = write_bench_report(report, args.out)
+    print(f"wrote {path} (equal_results={report['equal_results']}, "
+          f"warm speedup jobs=1 {report['warm_speedup_jobs1']}x, "
+          f"jobs={report['parallel_jobs']} "
+          f"{report['warm_speedup_jobsN']}x)")
+    return 0 if report["equal_results"] else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -346,6 +488,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="drop a lint rule (repeatable)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
+    p.add_argument("--docstrings", action="store_true",
+                   help="audit docstrings of the public entry points "
+                   "instead of linting a workload (warn-only unless "
+                   "--strict)")
 
     p = sub.add_parser("validate-pairs",
                        help="statically validate a spawning-pair table")
@@ -381,10 +527,65 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-crash", action="append", metavar="KEY",
                    help="crash KEY's first attempt (resilience testing; "
                    "KEY is workload@rate)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (default 1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact-cache directory shared by the workers")
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
     p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser(
+        "exp",
+        help="reproduce a figure through the parallel engine",
+    )
+    p.add_argument("--fig", required=True,
+                   help="figure to reproduce (8 or figure8)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count; 1 = the "
+                   "bit-identical serial path)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk artifact cache shared across runs")
+    p.add_argument("--checkpoint",
+                   help="JSON checkpoint file; completed points resume")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per point")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-point progress to stderr")
+
+    p = sub.add_parser("cache", help="artifact-cache maintenance")
+    p.add_argument("action", choices=("stats", "clear", "warm"))
+    p.add_argument("--cache-dir", default=_default_cache_dir(),
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                   ".repro-cache)")
+    p.add_argument("--kind", default=None,
+                   help="restrict 'clear' to one artifact kind")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale to warm (with 'warm')")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-workload warm progress to stderr")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the parallel engine and artifact cache",
+    )
+    p.add_argument("--fig", default="figure8",
+                   help="figure sweep to benchmark (default figure8)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default 0.3; 0.2 with --smoke)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker count of the jobs=N phases "
+                   "(default: CPU count)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast benchmark for CI")
+    p.add_argument("--out", default="BENCH_parallel.json",
+                   help="report path (default BENCH_parallel.json)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: a fresh temp dir)")
     return parser
 
 
@@ -399,6 +600,9 @@ _COMMANDS = {
     "lint": cmd_lint,
     "validate-pairs": cmd_validate_pairs,
     "faults": cmd_faults,
+    "exp": cmd_exp,
+    "cache": cmd_cache,
+    "bench": cmd_bench,
 }
 
 

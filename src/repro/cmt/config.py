@@ -146,11 +146,11 @@ class ProcessorConfig:
             raise ValueError("fault_restart_penalty cannot be negative")
 
     def with_(self, **overrides) -> "ProcessorConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy of the config with the given fields replaced."""
         return replace(self, **overrides)
 
     def single_threaded(self) -> "ProcessorConfig":
-        """The matching one-thread-unit baseline configuration."""
+        """Return the matching one-thread-unit baseline configuration."""
         return self.with_(
             num_thread_units=1,
             removal_cycles=None,

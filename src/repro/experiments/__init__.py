@@ -4,7 +4,10 @@
 (traces, pair sets, baseline cycles) and :mod:`repro.experiments.figures`
 the per-figure sweeps.  Each figure function returns a
 :class:`~repro.experiments.framework.FigureResult` that renders to the same
-rows/series the paper plots.
+rows/series the paper plots.  :mod:`repro.experiments.engine` fans a
+figure's sweep grid across worker processes (sharing the on-disk
+:class:`~repro.cache.ArtifactCache`), and :mod:`repro.experiments.bench`
+measures the whole machinery for ``BENCH_parallel.json``.
 """
 
 from repro.experiments.framework import (
@@ -19,17 +22,21 @@ from repro.experiments.framework import (
     run_policy,
     run_resilient,
 )
+from repro.experiments.engine import ParallelEngine, figure_points, run_figure
 from repro.experiments import figures
 
 __all__ = [
     "EXPERIMENT_CONFIG",
     "EXPERIMENT_PROFILE_CONFIG",
     "FigureResult",
+    "ParallelEngine",
     "ResilientOutcome",
     "SweepCheckpoint",
     "baseline_cycles",
+    "figure_points",
     "pair_set_for",
     "resilient_sweep",
+    "run_figure",
     "run_policy",
     "run_resilient",
     "figures",

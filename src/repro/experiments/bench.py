@@ -1,0 +1,132 @@
+"""Performance benchmark of the parallel engine and artifact cache.
+
+``repro bench`` runs one figure sweep (Figure 8 by default: the full
+suite under both spawning policies) through four phases — jobs=1 and
+jobs=N, each cold-cache then warm-cache — measuring wall-clock seconds
+and cache hit rates, and verifying that every phase produced identical
+figure series.  The report seeds the repository's performance
+trajectory as ``BENCH_parallel.json``.
+
+In-process memos are cleared between phases so the numbers measure the
+on-disk artifact cache, not Python dict lookups.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.cache import ArtifactCache, generator_version
+from repro.experiments import framework
+from repro.experiments.engine import ParallelEngine, run_figure
+
+__all__ = ["run_bench", "write_bench_report"]
+
+
+def _phase(
+    label: str,
+    figure: str,
+    scale: float,
+    jobs: int,
+    cache_dir: str,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run one bench phase and measure it; returns the phase record."""
+    framework.clear_memos()
+    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
+    start = time.perf_counter()
+    result = run_figure(figure, scale, engine)
+    seconds = time.perf_counter() - start
+    record = {
+        "label": label,
+        "jobs": jobs,
+        "seconds": round(seconds, 4),
+        "cache": dict(engine.cache_events),
+        "cache_hit_rate": round(engine.cache_hit_rate(), 4),
+        "series": result.series,
+    }
+    if progress is not None:
+        progress(
+            f"{label}: {seconds:.2f}s, hit rate "
+            f"{record['cache_hit_rate']:.0%}"
+        )
+    return record
+
+
+def run_bench(
+    figure: str = "figure8",
+    scale: float = 0.3,
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark a figure sweep: jobs=1 vs jobs=N, cold vs warm cache.
+
+    Args:
+        figure: Figure driver to sweep (default ``figure8``).
+        scale: Workload size multiplier.
+        jobs: Parallel worker count for the jobs=N phases (default:
+            ``os.cpu_count()`` via the engine).
+        cache_dir: Artifact-cache directory (required; the caller owns
+            its lifetime — ``repro bench`` uses a temporary directory).
+        progress: Optional per-phase status callback.
+
+    Returns:
+        The benchmark report: per-phase wall-clock and cache counters,
+        derived speedups, and an ``equal_results`` flag confirming all
+        phases produced identical figure series.
+    """
+    if cache_dir is None:
+        raise ValueError("run_bench needs an explicit cache_dir")
+    cache_dir = str(cache_dir)
+    cache = ArtifactCache(cache_dir)
+    parallel_jobs = ParallelEngine(jobs=jobs).jobs
+
+    phases: List[Dict[str, Any]] = []
+    cache.clear()
+    phases.append(_phase("jobs1_cold", figure, scale, 1, cache_dir, progress))
+    phases.append(_phase("jobs1_warm", figure, scale, 1, cache_dir, progress))
+    cache.clear()
+    phases.append(
+        _phase("jobsN_cold", figure, scale, parallel_jobs, cache_dir, progress)
+    )
+    phases.append(
+        _phase("jobsN_warm", figure, scale, parallel_jobs, cache_dir, progress)
+    )
+    framework.clear_memos()
+
+    by_label = {p["label"]: p for p in phases}
+    first_series = phases[0]["series"]
+    equal = all(p["series"] == first_series for p in phases)
+
+    def ratio(cold: str, warm: str) -> float:
+        denom = by_label[warm]["seconds"]
+        return round(by_label[cold]["seconds"] / denom, 2) if denom else float("inf")
+
+    report = {
+        "figure": figure,
+        "scale": scale,
+        "parallel_jobs": parallel_jobs,
+        "generator_version": generator_version(),
+        "python": platform.python_version(),
+        "phases": {
+            p["label"]: {k: v for k, v in p.items() if k != "series"}
+            for p in phases
+        },
+        "warm_speedup_jobs1": ratio("jobs1_cold", "jobs1_warm"),
+        "warm_speedup_jobsN": ratio("jobsN_cold", "jobsN_warm"),
+        "equal_results": equal,
+    }
+    return report
+
+
+def write_bench_report(
+    report: Dict[str, Any], path: Union[str, Path] = "BENCH_parallel.json"
+) -> Path:
+    """Write a bench report as pretty JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,499 @@
+"""Parallel experiment engine: fan sweep points across worker processes.
+
+Every figure in the paper's evaluation is an embarrassingly parallel
+sweep over (workload x policy x thread-unit count).  This module turns
+such a sweep into a list of pickle-safe :class:`Point` specs, runs each
+point through the hardened :func:`~repro.experiments.framework.run_resilient`
+wrapper — serially for ``jobs=1`` (bit-identical to the historical
+path), or across a ``ProcessPoolExecutor`` otherwise — and reassembles
+results in deterministic input order regardless of completion order.
+
+Workers share the on-disk :class:`~repro.cache.ArtifactCache` when one
+is configured, so traces/pairs/baselines are derived once per sweep and
+whole point results are memoized across runs.  A
+:class:`~repro.experiments.framework.SweepCheckpoint` integrates for
+resume: completed point keys are skipped on restart.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cache import ArtifactCache
+from repro.experiments import figures as figures_mod
+from repro.experiments import framework
+from repro.experiments.framework import (
+    EXPERIMENT_CONFIG,
+    FigureResult,
+    ResilientOutcome,
+    SweepCheckpoint,
+    run_resilient,
+    resilient_sweep,
+)
+
+__all__ = [
+    "Point",
+    "ParallelEngine",
+    "figure_points",
+    "run_figure",
+    "execute_point",
+    "POINT_RUNNERS",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One pickle-safe unit of sweep work.
+
+    Args:
+        key: Stable identifier (checkpoint key and result-ordering key).
+        runner: Name of a registered runner in :data:`POINT_RUNNERS`.
+        params: Keyword arguments of the runner — JSON-able primitives
+            only, so a point can cross a process boundary and key the
+            artifact cache.
+    """
+
+    key: str
+    runner: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Point runners.  Top-level functions (pickle-safe); each returns a
+# JSON-serialisable payload so outcomes survive checkpoints and caches.
+# ----------------------------------------------------------------------
+
+
+def _runner_simulate(
+    name: str, policy: str, scale: float, overrides: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Simulate one (workload, policy, configuration) figure point."""
+    config = EXPERIMENT_CONFIG.with_(**overrides)
+    stats = framework.run_policy(name, policy, config, scale)
+    baseline = framework.baseline_cycles(name, config, scale)
+    return {
+        "cycles": stats.cycles,
+        "baseline": baseline,
+        "speedup": baseline / stats.cycles if stats.cycles else 0.0,
+        "avg_active_threads": stats.avg_active_threads,
+        "avg_thread_size": stats.avg_thread_size,
+        "value_hit_rate": stats.value_hit_rate,
+    }
+
+
+#: Worker-local budget of injected crashes (resilience testing); the
+#: retry of a crashed attempt runs in the same process and proceeds.
+_CRASH_BUDGET: Dict[str, int] = {}
+
+
+def _runner_campaign(
+    spec_fields: Dict[str, Any],
+    workload: str,
+    rate: float,
+    sequential: int,
+    faultless: int,
+    crash_key: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one fault-injection campaign point (see ``faults.campaign``)."""
+    from repro.faults.campaign import CampaignSpec, _run_payload
+
+    if crash_key is not None:
+        budget = _CRASH_BUDGET.setdefault(crash_key, 1)
+        if budget > 0:
+            _CRASH_BUDGET[crash_key] = budget - 1
+            raise RuntimeError(f"injected worker crash in {crash_key}")
+    spec = CampaignSpec(
+        workloads=(workload,),
+        rates=(rate,),
+        seed=int(spec_fields["seed"]),
+        scale=float(spec_fields["scale"]),
+        policy=str(spec_fields["policy"]),
+        thread_units=int(spec_fields["thread_units"]),
+        cycle_budget_factor=int(spec_fields["cycle_budget_factor"]),
+    )
+    return _run_payload(spec, workload, rate, sequential, faultless)
+
+
+#: runner name -> callable; points refer to runners by name so the spec
+#: stays picklable (no closures cross the process boundary).
+POINT_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "simulate": _runner_simulate,
+    "campaign": _runner_campaign,
+}
+
+
+def execute_point(point: Point, cache: Optional[ArtifactCache] = None) -> Any:
+    """Run one point, memoizing its payload in the artifact cache.
+
+    Args:
+        point: The point spec to execute.
+        cache: Active artifact cache (None disables point memoization).
+
+    Returns:
+        The runner's JSON-serialisable payload.
+    """
+    runner = POINT_RUNNERS[point.runner]
+    if cache is None or point.runner not in ("simulate", "campaign"):
+        return runner(**point.params)
+    return cache.get_or_create(
+        "point", lambda: runner(**point.params), runner=point.runner, **point.params
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.
+# ----------------------------------------------------------------------
+
+_worker_cache: Optional[ArtifactCache] = None
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: attach the shared artifact cache in the worker."""
+    global _worker_cache
+    _worker_cache = ArtifactCache(cache_dir) if cache_dir else None
+    framework.set_cache(_worker_cache)
+
+
+def _worker_run(
+    point: Point,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> Tuple[str, Dict[str, Any], Dict[str, int]]:
+    """Execute one point resiliently in a worker; returns (key, outcome
+    dict, cache-stats delta) so the parent can aggregate hit rates."""
+    cache = _worker_cache
+    before = cache.stats.to_dict() if cache else None
+    outcome = run_resilient(
+        lambda: execute_point(point, cache),
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+    )
+    delta: Dict[str, int] = {}
+    if cache is not None and before is not None:
+        after = cache.stats.to_dict()
+        delta = {
+            k: after[k] - before[k]
+            for k in ("memory_hits", "disk_hits", "misses", "puts")
+        }
+    return point.key, outcome.to_dict(), delta
+
+
+class ParallelEngine:
+    """Fan experiment points across processes with resume and caching.
+
+    Args:
+        jobs: Worker count; ``None`` means ``os.cpu_count()``.  ``jobs=1``
+            executes through :func:`resilient_sweep` in the calling
+            process — bit-identical to the historical serial path.
+        cache_dir: Directory of the shared on-disk artifact cache (None
+            disables disk caching; in-process memos still apply).
+        timeout: Per-point wall-clock limit in seconds (None = unbounded).
+        retries: Retry budget per point.
+        backoff: Base of the exponential retry backoff in seconds.
+
+    After :meth:`run`, ``cache_events`` holds aggregated cache counters
+    (parent plus every worker) for the executed points.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        self.cache: Optional[ArtifactCache] = (
+            ArtifactCache(self.cache_dir) if self.cache_dir else None
+        )
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.cache_events: Dict[str, int] = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "puts": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _note_cache_delta(self, delta: Dict[str, int]) -> None:
+        for key, value in delta.items():
+            self.cache_events[key] = self.cache_events.get(key, 0) + value
+
+    def cache_hit_rate(self) -> float:
+        """Return the aggregated hit rate of executed points (0.0 idle)."""
+        hits = self.cache_events["memory_hits"] + self.cache_events["disk_hits"]
+        total = hits + self.cache_events["misses"]
+        return hits / total if total else 0.0
+
+    def run(
+        self,
+        points: Sequence[Point],
+        checkpoint: Optional[SweepCheckpoint] = None,
+        progress: Optional[Callable[[str, ResilientOutcome, bool], None]] = None,
+    ) -> Dict[str, ResilientOutcome]:
+        """Execute every point; results keyed and ordered as submitted.
+
+        Args:
+            points: Point specs; keys must be unique.
+            checkpoint: Optional resume store — completed keys are
+                loaded, not re-run, and fresh completions are recorded.
+            progress: ``progress(key, outcome, resumed)`` per point.
+
+        Returns:
+            Mapping of point key to outcome, in the order of ``points``
+            regardless of completion order.
+        """
+        keys = [p.key for p in points]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate point keys in sweep")
+        if self.jobs == 1:
+            return self._run_serial(points, checkpoint, progress)
+        return self._run_parallel(points, checkpoint, progress)
+
+    def _run_serial(self, points, checkpoint, progress):
+        tasks = {
+            p.key: (lambda p=p: execute_point(p, self.cache)) for p in points
+        }
+        before = self.cache.stats.to_dict() if self.cache else None
+        previous = framework.set_cache(self.cache)
+        try:
+            results = resilient_sweep(
+                tasks,
+                checkpoint=checkpoint,
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.backoff,
+                progress=progress,
+            )
+        finally:
+            framework.set_cache(previous)
+        if self.cache is not None and before is not None:
+            after = self.cache.stats.to_dict()
+            self._note_cache_delta(
+                {
+                    k: after[k] - before[k]
+                    for k in ("memory_hits", "disk_hits", "misses", "puts")
+                }
+            )
+        return results
+
+    def _run_parallel(self, points, checkpoint, progress):
+        results: Dict[str, ResilientOutcome] = {}
+        todo: List[Point] = []
+        for point in points:
+            if checkpoint is not None and point.key in checkpoint:
+                outcome = checkpoint.get(point.key)
+                results[point.key] = outcome
+                if progress is not None:
+                    progress(point.key, outcome, True)
+            else:
+                todo.append(point)
+        if todo:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(todo)),
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _worker_run, point, self.timeout, self.retries, self.backoff
+                    ): point
+                    for point in todo
+                }
+                for future in as_completed(futures):
+                    key, outcome_dict, delta = future.result()
+                    outcome = ResilientOutcome.from_dict(outcome_dict)
+                    results[key] = outcome
+                    self._note_cache_delta(delta)
+                    if checkpoint is not None:
+                        checkpoint.record(key, outcome)
+                    if progress is not None:
+                        progress(key, outcome, False)
+        return {point.key: results[point.key] for point in points}
+
+
+# ----------------------------------------------------------------------
+# Figure sweeps: enumerate the (workload, policy, overrides) grid of a
+# figure, run it through an engine, seed the figure memos with the
+# results, and let the unchanged figure driver assemble its table.  A
+# point the grid misses is simply computed serially by the driver — the
+# result is identical either way.
+# ----------------------------------------------------------------------
+
+
+def _grid(figure: str, names: Sequence[str]) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """(workload, policy, config-overrides) combos one figure sweeps."""
+    from repro.experiments.figures import _removal
+
+    combos: List[Tuple[str, str, Dict[str, Any]]] = []
+
+    def add(policy: str, names=names, **overrides: Any) -> None:
+        for name in names:
+            combos.append((name, policy, dict(overrides)))
+
+    if figure in ("figure3", "figure4"):
+        add("profile")
+    elif figure == "figure5a":
+        for cycles in (None, 50, 200):
+            add("profile", removal_cycles=cycles)
+    elif figure == "figure5b":
+        for occurrences in (1, 8, 16):
+            add("profile", removal_cycles=50, removal_occurrences=occurrences)
+    elif figure == "figure6":
+        for name in names:
+            for reassign in (False, True):
+                combos.append(
+                    (name, "profile",
+                     {"removal_cycles": _removal(name), "reassign": reassign})
+                )
+    elif figure == "figure7a":
+        for name in names:
+            combos.append((name, "profile", {"removal_cycles": _removal(name)}))
+    elif figure == "figure7b":
+        for name in names:
+            for min_size in (None, 32):
+                combos.append(
+                    (name, "profile",
+                     {"removal_cycles": _removal(name),
+                      "min_thread_size": min_size})
+                )
+    elif figure == "figure8":
+        add("profile")
+        add("heuristics")
+    elif figure == "figure9a":
+        for vp in ("stride", "fcm"):
+            for policy in ("profile", "heuristics"):
+                add(policy, value_predictor=vp)
+    elif figure == "figure9b":
+        for policy, vp in (
+            ("profile", "perfect"),
+            ("profile", "stride"),
+            ("heuristics", "perfect"),
+            ("heuristics", "stride"),
+        ):
+            add(policy, value_predictor=vp)
+    elif figure == "figure10a":
+        for vp in ("stride", "fcm"):
+            for policy in ("profile-independent", "profile-predictable"):
+                add(policy, value_predictor=vp)
+    elif figure == "figure10b":
+        for policy in ("profile-independent", "profile-predictable", "profile"):
+            add(policy, value_predictor="stride")
+    elif figure == "figure11":
+        for policy in ("profile", "heuristics"):
+            for overhead in (0, 8):
+                add(policy, value_predictor="stride", init_overhead=overhead)
+    elif figure == "figure12":
+        for vp, overhead in (("perfect", 0), ("stride", 0), ("stride", 8)):
+            for policy in ("profile", "heuristics"):
+                add(
+                    policy,
+                    num_thread_units=4,
+                    value_predictor=vp,
+                    init_overhead=overhead,
+                )
+    # figure2 / heuristic_breakdown / profile_input_sensitivity bypass the
+    # run memo (pairs-only or direct simulate calls) -> empty grid; the
+    # driver runs them in-process.
+    seen = set()
+    unique: List[Tuple[str, str, Dict[str, Any]]] = []
+    for name, policy, overrides in combos:
+        fingerprint = (name, policy, tuple(sorted(overrides.items(), key=str)))
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            unique.append((name, policy, overrides))
+    return unique
+
+
+def _overrides_tag(overrides: Dict[str, Any]) -> str:
+    if not overrides:
+        return "base"
+    return ",".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+
+
+def figure_points(figure: str, scale: float = 1.0) -> List[Point]:
+    """Pickle-safe point specs covering one figure's sweep grid.
+
+    Args:
+        figure: Figure driver name (``figure3`` ... ``figure12``).
+        scale: Workload size multiplier.
+
+    Returns:
+        One :class:`Point` per (workload, policy, configuration) the
+        figure consumes; empty for drivers that bypass the run memo.
+    """
+    if figure not in figures_mod.ALL_FIGURES:
+        raise KeyError(
+            f"unknown figure {figure!r}; pick from "
+            f"{', '.join(figures_mod.ALL_FIGURES)}"
+        )
+    return [
+        Point(
+            key=f"{figure}|{name}|{policy}|{_overrides_tag(overrides)}",
+            runner="simulate",
+            params={
+                "name": name,
+                "policy": policy,
+                "scale": scale,
+                "overrides": overrides,
+            },
+        )
+        for name, policy, overrides in _grid(figure, framework.suite(scale))
+    ]
+
+
+def run_figure(
+    figure: str,
+    scale: float = 1.0,
+    engine: Optional[ParallelEngine] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    progress: Optional[Callable[[str, ResilientOutcome, bool], None]] = None,
+) -> FigureResult:
+    """Reproduce one figure through the parallel engine.
+
+    The figure's grid points run via ``engine`` (parallel, cached,
+    checkpointed); successful payloads seed the figure-driver memos, and
+    the unchanged driver assembles the :class:`FigureResult`.  Any point
+    that failed (or is missing from the grid) is recomputed serially by
+    the driver, so the output matches the serial path exactly.
+
+    Args:
+        figure: Figure driver name.
+        scale: Workload size multiplier.
+        engine: Engine to run on (default: serial, uncached).
+        checkpoint: Optional resume store for the point sweep.
+        progress: Per-point progress callback.
+
+    Returns:
+        The figure's :class:`FigureResult`.
+    """
+    engine = engine or ParallelEngine(jobs=1)
+    points = figure_points(figure, scale)
+    outcomes = (
+        engine.run(points, checkpoint=checkpoint, progress=progress)
+        if points
+        else {}
+    )
+    with framework.use_cache(engine.cache):
+        for point in points:
+            outcome = outcomes.get(point.key)
+            if outcome is not None and outcome.ok and isinstance(outcome.value, dict):
+                config = EXPERIMENT_CONFIG.with_(**point.params["overrides"])
+                figures_mod.seed_run(
+                    point.params["name"],
+                    point.params["policy"],
+                    config,
+                    scale,
+                    outcome.value,
+                )
+        return figures_mod.ALL_FIGURES[figure](scale)

@@ -12,8 +12,8 @@ harness can run reduced sweeps.
 
 from __future__ import annotations
 
-import functools
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 from repro.cmt import ProcessorConfig
 from repro.cmt.stats import SimulationStats
@@ -23,20 +23,80 @@ from repro.experiments.framework import (
     baseline_cycles,
     pair_set_for,
     run_policy,
+    seed_baseline,
     suite,
 )
 from repro.metrics import arithmetic_mean, harmonic_mean
 
 
-@functools.lru_cache(maxsize=4096)
+@dataclass(frozen=True)
+class SeededStats:
+    """The slice of :class:`SimulationStats` the figure drivers consume.
+
+    The parallel engine computes points in worker processes and ships
+    their results back as plain numbers; seeding the run memo with this
+    lightweight view lets the unchanged figure drivers assemble their
+    tables without re-simulating.
+    """
+
+    cycles: int
+    avg_active_threads: float
+    avg_thread_size: float
+    value_hit_rate: float
+
+
+_run_memo: Dict[Tuple[str, str, ProcessorConfig, float], Any] = {}
+
+
 def cached_run(
     name: str,
     policy: str,
     config: ProcessorConfig,
     scale: float = 1.0,
 ) -> SimulationStats:
-    """Memoised simulation (figures share many configurations)."""
-    return run_policy(name, policy, config, scale)
+    """Memoised simulation (figures share many configurations).
+
+    Args:
+        name: Workload name.
+        policy: Spawning policy name.
+        config: Full processor configuration of the run.
+        scale: Workload size multiplier.
+
+    Returns:
+        The run's statistics — a full :class:`SimulationStats`, or a
+        :class:`SeededStats` view when the parallel engine pre-seeded
+        this point (attribute-compatible for every figure driver).
+    """
+    key = (name, policy, config, scale)
+    if key not in _run_memo:
+        _run_memo[key] = run_policy(name, policy, config, scale)
+    return _run_memo[key]
+
+
+def seed_run(
+    name: str,
+    policy: str,
+    config: ProcessorConfig,
+    scale: float,
+    payload: Dict[str, Any],
+) -> None:
+    """Pre-populate the run memo from a parallel-engine point payload.
+
+    ``payload`` is the dict a ``simulate`` point runner returns (cycles,
+    baseline, averages, hit rate); the baseline memo is seeded too.
+    """
+    _run_memo[(name, policy, config, scale)] = SeededStats(
+        cycles=int(payload["cycles"]),
+        avg_active_threads=float(payload["avg_active_threads"]),
+        avg_thread_size=float(payload["avg_thread_size"]),
+        value_hit_rate=float(payload["value_hit_rate"]),
+    )
+    seed_baseline(name, config, scale, int(payload["baseline"]))
+
+
+def clear_run_memo() -> None:
+    """Drop every memoised (and seeded) simulation result."""
+    _run_memo.clear()
 
 
 def _speedups(
@@ -60,6 +120,15 @@ def _removal(name: str, cycles: int = 50) -> int:
 # ----------------------------------------------------------------------
 
 def figure2(scale: float = 1.0) -> FigureResult:
+    """Figure 2: candidate spawning pairs vs selected spawning points.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        The figure's series (total and selected pair counts per
+        benchmark) as a :class:`FigureResult`.
+    """
     totals, selected = [], []
     for name in suite():
         pairs = pair_set_for(name, "profile", scale)
@@ -88,6 +157,14 @@ def figure2(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure3(scale: float = 1.0) -> FigureResult:
+    """Figure 3: speed-up at 16 TUs, profile policy, perfect VP.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Per-benchmark speed-ups over single-threaded execution.
+    """
     config = EXPERIMENT_CONFIG
     values = _speedups("profile", config, scale)
     return FigureResult(
@@ -101,6 +178,14 @@ def figure3(scale: float = 1.0) -> FigureResult:
 
 
 def figure4(scale: float = 1.0) -> FigureResult:
+    """Figure 4: time-weighted average number of active threads.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Per-benchmark average active-thread counts.
+    """
     config = EXPERIMENT_CONFIG
     values = [
         cached_run(name, "profile", config, scale).avg_active_threads
@@ -121,6 +206,14 @@ def figure4(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure5a(scale: float = 1.0) -> FigureResult:
+    """Figure 5a: pair removal after N cycles executing alone.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups under no removal and the 50/200-cycle schemes.
+    """
     series: Dict[str, List[float]] = {}
     for label, cycles in (("no_removal", None), ("removal_50", 50), ("removal_200", 200)):
         values = []
@@ -141,6 +234,14 @@ def figure5a(scale: float = 1.0) -> FigureResult:
 
 
 def figure5b(scale: float = 1.0) -> FigureResult:
+    """Figure 5b: delayed removal — occurrences before cancelling.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups with 1/8/16 alone-occurrences before removal.
+    """
     series: Dict[str, List[float]] = {}
     for occurrences in (1, 8, 16):
         values = []
@@ -166,6 +267,14 @@ def figure5b(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure6(scale: float = 1.0) -> FigureResult:
+    """Figure 6: reassigning an SP to its next CQIP vs plain removal.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups with and without the reassign policy.
+    """
     series: Dict[str, List[float]] = {"removal_50": [], "reassign": []}
     for name in suite():
         for label, reassign in (("removal_50", False), ("reassign", True)):
@@ -191,6 +300,14 @@ def figure6(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure7a(scale: float = 1.0) -> FigureResult:
+    """Figure 7a: average dynamic thread size under removal.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Per-benchmark average committed-thread sizes.
+    """
     values = []
     for name in suite():
         config = EXPERIMENT_CONFIG.with_(removal_cycles=_removal(name))
@@ -207,6 +324,14 @@ def figure7a(scale: float = 1.0) -> FigureResult:
 
 
 def figure7b(scale: float = 1.0) -> FigureResult:
+    """Figure 7b: enforcing a minimum dynamic thread size of 32.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups with and without the minimum-size constraint.
+    """
     series: Dict[str, List[float]] = {"no_min_size": [], "min_size_32": []}
     for name in suite():
         for label, min_size in (("no_min_size", None), ("min_size_32", 32)):
@@ -232,6 +357,14 @@ def figure7b(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure8(scale: float = 1.0) -> FigureResult:
+    """Figure 8: profile policy vs the combined traditional heuristics.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Per-benchmark ratio of heuristic to profile cycle counts.
+    """
     config = EXPERIMENT_CONFIG
     ratios = []
     for name in suite():
@@ -254,6 +387,14 @@ def figure8(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure9a(scale: float = 1.0) -> FigureResult:
+    """Figure 9a: live-in value-prediction hit ratios (16KB tables).
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Hit ratios per predictor (stride/fcm) and policy.
+    """
     series: Dict[str, List[float]] = {}
     for vp in ("stride", "fcm"):
         for policy in ("profile", "heuristics"):
@@ -277,6 +418,14 @@ def figure9a(scale: float = 1.0) -> FigureResult:
 
 
 def figure9b(scale: float = 1.0) -> FigureResult:
+    """Figure 9b: speed-ups with the stride value predictor.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups under perfect vs stride prediction per policy.
+    """
     series: Dict[str, List[float]] = {}
     for label, policy, vp in (
         ("perfect_profile", "profile", "perfect"),
@@ -303,6 +452,14 @@ def figure9b(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure10a(scale: float = 1.0) -> FigureResult:
+    """Figure 10a: hit ratio under independent/predictable ordering.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Hit ratios per predictor and CQIP-ordering criterion.
+    """
     series: Dict[str, List[float]] = {}
     for vp in ("stride", "fcm"):
         for policy in ("profile-independent", "profile-predictable"):
@@ -325,6 +482,14 @@ def figure10a(scale: float = 1.0) -> FigureResult:
 
 
 def figure10b(scale: float = 1.0) -> FigureResult:
+    """Figure 10b: speed-up of the alternative CQIP orderings.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups of the independent/predictable/distance criteria.
+    """
     config = EXPERIMENT_CONFIG.with_(value_predictor="stride")
     series = {
         "independent": _speedups("profile-independent", config, scale),
@@ -347,6 +512,14 @@ def figure10b(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure11(scale: float = 1.0) -> FigureResult:
+    """Figure 11: slow-down from an 8-cycle initialisation overhead.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Per-benchmark ratio of zero-overhead to 8-cycle cycles.
+    """
     series: Dict[str, List[float]] = {"profile": [], "heuristics": []}
     for policy in ("profile", "heuristics"):
         for name in suite():
@@ -379,6 +552,14 @@ def figure11(scale: float = 1.0) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def figure12(scale: float = 1.0) -> FigureResult:
+    """Figure 12: speed-ups with only 4 thread units.
+
+    Args:
+        scale: Workload size multiplier.
+
+    Returns:
+        Speed-ups per (predictor, overhead, policy) combination.
+    """
     series: Dict[str, List[float]] = {}
     for label, vp, overhead in (
         ("perfect", "perfect", 0),
@@ -416,6 +597,9 @@ def heuristic_breakdown(scale: float = 1.0) -> FigureResult:
     iterations are the strongest individual scheme on this architecture
     and that the best policy combines all three; this driver reproduces
     that supporting comparison.
+
+    Returns:
+        The comparison as a :class:`FigureResult`.
     """
     from repro.cmt import simulate
     from repro.spawning import HeuristicConfig, heuristic_pairs
@@ -467,6 +651,9 @@ def profile_input_sensitivity(scale: float = 1.0) -> FigureResult:
     ``self_profiled`` selects pairs on the evaluation input itself (the
     paper's setup); ``cross_profiled`` selects them on the training input.
     A transfer ratio near 1 means the profile generalises across inputs.
+
+    Returns:
+        The sensitivity comparison as a :class:`FigureResult`.
     """
     from repro.cmt import simulate, single_thread_cycles
     from repro.spawning import select_profile_pairs
@@ -530,5 +717,5 @@ ALL_FIGURES = {
 
 
 def run_all(scale: float = 1.0) -> List[FigureResult]:
-    """Regenerate every figure (used by the EXPERIMENTS.md generator)."""
+    """Regenerate and return every figure (for the EXPERIMENTS generator)."""
     return [fn(scale) for fn in ALL_FIGURES.values()]

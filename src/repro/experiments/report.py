@@ -28,7 +28,7 @@ def _bench_value(result: FigureResult, series: str, bench: str) -> float:
 
 
 def run_shape_checks(figures: Dict[str, FigureResult]) -> List[ShapeCheck]:
-    """Evaluate every headline claim against the regenerated figures."""
+    """Return every headline claim evaluated against the figures."""
     checks: List[ShapeCheck] = []
 
     def add(claim: str, fn: Callable[[], tuple]) -> None:
@@ -152,7 +152,7 @@ def run_shape_checks(figures: Dict[str, FigureResult]) -> List[ShapeCheck]:
 
 
 def render_checklist(checks: List[ShapeCheck]) -> str:
-    """Markdown table of the live shape checks."""
+    """Return the Markdown table of the live shape checks."""
     lines = [
         "| Shape claim | Status | Observed |",
         "|---|---|---|",

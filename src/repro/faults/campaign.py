@@ -33,12 +33,12 @@ from repro.workloads import load_trace, workload_names
 
 
 def run_key(workload: str, rate: float) -> str:
-    """Stable checkpoint key of one campaign run."""
+    """Return the stable checkpoint key of one (workload, rate) run."""
     return f"{workload}@{rate:g}"
 
 
 def workload_seed(seed: int, workload: str) -> int:
-    """Per-workload fault seed derived from the campaign seed."""
+    """Return the per-workload fault seed derived from the campaign seed."""
     digest = hashlib.blake2b(
         f"{seed}:{workload}".encode("utf-8"), digest_size=8
     ).digest()
@@ -65,7 +65,7 @@ class CampaignSpec:
 
     @classmethod
     def smoke(cls, seed: int = 2002) -> "CampaignSpec":
-        """Small fixed-seed campaign for CI (fast, still all-model)."""
+        """Return a small fixed-seed campaign spec for CI (all-model)."""
         return cls(
             workloads=tuple(workload_names()),
             rates=(0.0, 0.05),
@@ -91,7 +91,7 @@ class CampaignResult:
     # ------------------------------------------------------------------
 
     def failures(self) -> List[str]:
-        """Human-readable gate failures (empty = campaign passed)."""
+        """Return the human-readable gate failures (empty = passed)."""
         problems: List[str] = []
         for workload in self.spec.workloads:
             for rate in self.spec.rates:
@@ -124,6 +124,7 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
+        """Whether every campaign gate passed."""
         return not self.failures()
 
     # ------------------------------------------------------------------
@@ -131,6 +132,7 @@ class CampaignResult:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON report (spec, references, outcomes, gates)."""
         return {
             "spec": {
                 "workloads": list(self.spec.workloads),
@@ -150,7 +152,7 @@ class CampaignResult:
         }
 
     def render(self) -> str:
-        """ASCII degradation report: speed-up per workload per fault rate."""
+        """Return the ASCII degradation report (speed-up per rate)."""
         rates = list(self.spec.rates)
         lines = [
             "Fault-injection campaign "
@@ -224,43 +226,94 @@ def _run_payload(spec: CampaignSpec, workload: str, rate: float,
     }
 
 
+def _campaign_points(
+    spec: CampaignSpec,
+    reference: Dict[str, Dict[str, int]],
+    crash_keys: Tuple[str, ...],
+):
+    """Pickle-safe engine points covering the campaign's sweep grid."""
+    from repro.experiments.engine import Point
+
+    spec_fields = {
+        "seed": spec.seed,
+        "scale": spec.scale,
+        "policy": spec.policy,
+        "thread_units": spec.thread_units,
+        "cycle_budget_factor": spec.cycle_budget_factor,
+    }
+    points = []
+    for workload in spec.workloads:
+        for rate in spec.rates:
+            key = run_key(workload, rate)
+            points.append(
+                Point(
+                    key=key,
+                    runner="campaign",
+                    params={
+                        "spec_fields": spec_fields,
+                        "workload": workload,
+                        "rate": rate,
+                        "sequential": reference[workload]["sequential_cycles"],
+                        "faultless": reference[workload]["faultless_cycles"],
+                        "crash_key": key if key in crash_keys else None,
+                    },
+                )
+            )
+    return points
+
+
 def run_campaign(
     spec: CampaignSpec,
     checkpoint: Optional[SweepCheckpoint] = None,
     crash_keys: Tuple[str, ...] = (),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Execute a campaign, resuming completed runs from ``checkpoint``.
 
-    ``crash_keys`` lists run keys whose *first* attempt raises an
-    injected crash — a deterministic way to exercise (and test) the
-    retry path end to end.
+    Args:
+        spec: The campaign's sweep parameters.
+        checkpoint: Optional resume store; completed run keys are
+            loaded instead of re-run.
+        crash_keys: Run keys whose *first* attempt raises an injected
+            crash — a deterministic way to exercise (and test) the
+            retry path end to end.
+        progress: Optional one-line-per-run status callback.
+        jobs: Worker processes; 1 (the default) keeps the historical
+            serial path, >1 fans runs across a
+            :class:`~repro.experiments.engine.ParallelEngine`.
+        cache_dir: Optional artifact-cache directory shared by the
+            reference computation and every worker.
+
+    Returns:
+        The populated :class:`CampaignResult` (gates not yet evaluated;
+        call :meth:`CampaignResult.failures` / ``.ok``).
     """
+    from repro.experiments import framework
+    from repro.experiments.engine import ParallelEngine
+
     result = CampaignResult(spec=spec)
     crash_budget = {key: 1 for key in crash_keys}
+    engine = ParallelEngine(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout=spec.timeout,
+        retries=spec.retries,
+        backoff=spec.backoff,
+    )
 
-    tasks: Dict[str, Callable[[], Any]] = {}
-    for workload in spec.workloads:
-        config = EXPERIMENT_CONFIG.with_(num_thread_units=spec.thread_units)
-        trace = load_trace(workload, spec.scale)
-        pairs = pair_set_for(workload, spec.policy, spec.scale)
-        sequential = baseline_cycles(workload, config, spec.scale)
-        faultless = simulate(trace, pairs, config).cycles
-        result.reference[workload] = {
-            "sequential_cycles": sequential,
-            "faultless_cycles": faultless,
-        }
-        for rate in spec.rates:
-            key = run_key(workload, rate)
-
-            def task(workload=workload, rate=rate, key=key,
-                     sequential=sequential, faultless=faultless):
-                if crash_budget.get(key, 0) > 0:
-                    crash_budget[key] -= 1
-                    raise RuntimeError(f"injected worker crash in {key}")
-                return _run_payload(spec, workload, rate, sequential, faultless)
-
-            tasks[key] = task
+    with framework.use_cache(engine.cache):
+        for workload in spec.workloads:
+            config = EXPERIMENT_CONFIG.with_(num_thread_units=spec.thread_units)
+            trace = load_trace(workload, spec.scale)
+            pairs = pair_set_for(workload, spec.policy, spec.scale)
+            sequential = baseline_cycles(workload, config, spec.scale)
+            faultless = simulate(trace, pairs, config).cycles
+            result.reference[workload] = {
+                "sequential_cycles": sequential,
+                "faultless_cycles": faultless,
+            }
 
     def note(key: str, outcome: ResilientOutcome, resumed: bool) -> None:
         if resumed:
@@ -276,12 +329,37 @@ def run_campaign(
             )
             progress(f"{key}: {status}{retry}")
 
-    result.outcomes = resilient_sweep(
-        tasks,
-        checkpoint=checkpoint,
-        timeout=spec.timeout,
-        retries=spec.retries,
-        backoff=spec.backoff,
-        progress=note,
-    )
+    if jobs == 1:
+        # Historical serial path: closures over the crash budget, run
+        # through ``resilient_sweep`` in submission order.
+        tasks: Dict[str, Callable[[], Any]] = {}
+        for workload in spec.workloads:
+            sequential = result.reference[workload]["sequential_cycles"]
+            faultless = result.reference[workload]["faultless_cycles"]
+            for rate in spec.rates:
+                key = run_key(workload, rate)
+
+                def task(workload=workload, rate=rate, key=key,
+                         sequential=sequential, faultless=faultless):
+                    if crash_budget.get(key, 0) > 0:
+                        crash_budget[key] -= 1
+                        raise RuntimeError(f"injected worker crash in {key}")
+                    return _run_payload(
+                        spec, workload, rate, sequential, faultless
+                    )
+
+                tasks[key] = task
+
+        with framework.use_cache(engine.cache):
+            result.outcomes = resilient_sweep(
+                tasks,
+                checkpoint=checkpoint,
+                timeout=spec.timeout,
+                retries=spec.retries,
+                backoff=spec.backoff,
+                progress=note,
+            )
+    else:
+        points = _campaign_points(spec, result.reference, crash_keys)
+        result.outcomes = engine.run(points, checkpoint=checkpoint, progress=note)
     return result

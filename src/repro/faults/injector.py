@@ -68,7 +68,7 @@ class FaultInjector:
         return windows
 
     def blackout_windows(self, tu_id: int) -> List[Tuple[int, int]]:
-        """The unit's full (start, end) blackout schedule, sorted."""
+        """Return the unit's full (start, end) blackout schedule, sorted."""
         if tu_id not in self._windows:
             self._windows[tu_id] = self._draw_windows(tu_id)
         return list(self._windows[tu_id])
@@ -80,7 +80,7 @@ class FaultInjector:
     def spawn_dropped(
         self, sp_pc: int, parent_seq: int, pos: int, attempt: int
     ) -> bool:
-        """Whether attempt ``attempt`` of this spawn request is dropped."""
+        """Return True when this attempt of the spawn request is dropped."""
         if self.spawn_drop_rate == 0.0:
             return False
         draw = _keyed_u01(
@@ -89,14 +89,14 @@ class FaultInjector:
         return draw < self.spawn_drop_rate
 
     def corrupt_livein(self, thread_seq: int, reg: int) -> bool:
-        """Whether this thread's predicted live-in ``reg`` is corrupted."""
+        """Return True when ``reg``'s predicted live-in for ``thread_seq`` is corrupted."""
         if self.corrupt_rate == 0.0:
             return False
         draw = _keyed_u01(self.plan.seed, "livein", (thread_seq, reg))
         return draw < self.corrupt_rate
 
     def forward_delay(self, thread_seq: int, reg: int, producer: int) -> int:
-        """Extra forwarding cycles for this (consumer, reg, producer)."""
+        """Return extra cycles delaying ``producer``'s forward of ``reg`` to ``thread_seq``."""
         if self.forward_rate == 0.0:
             return 0
         key = (thread_seq, reg, producer)

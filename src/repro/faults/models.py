@@ -117,7 +117,7 @@ class FaultPlan:
 
     @classmethod
     def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
-        """A plan with every model firing at the same ``rate``."""
+        """Return a plan with every model firing at the same ``rate``."""
         return cls(
             seed=seed,
             tu_blackout=TUBlackoutFault(rate=rate),
@@ -127,13 +127,16 @@ class FaultPlan:
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
+        """Return a copy of the plan reseeded with ``seed``."""
         return replace(self, seed=seed)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON view of the plan (see :meth:`from_dict`)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Return the plan encoded by a :meth:`to_dict` dictionary."""
         return cls(
             seed=int(data.get("seed", 0)),
             tu_blackout=TUBlackoutFault(**data.get("tu_blackout", {})),

@@ -93,7 +93,15 @@ def _measure_pair(
 
 
 def loop_iteration_pairs(trace: Trace, config: HeuristicConfig) -> List[SpawnPair]:
-    """SP = CQIP = loop head, for every observed loop."""
+    """Loop-iteration scheme: SP = CQIP = loop head, for every loop.
+
+    Args:
+        trace: Profile trace to measure candidate pairs on.
+        config: Distance/lookahead thresholds.
+
+    Returns:
+        The scheme's measured :class:`SpawnPair` list.
+    """
     pairs = []
     for head in sorted(trace.program.loop_heads()):
         measured = _measure_pair(trace, head, head, config.max_lookahead)
@@ -115,7 +123,15 @@ def loop_iteration_pairs(trace: Trace, config: HeuristicConfig) -> List[SpawnPai
 
 
 def loop_continuation_pairs(trace: Trace, config: HeuristicConfig) -> List[SpawnPair]:
-    """SP = loop head, CQIP = the instruction after the closing branch."""
+    """Loop-continuation scheme: spawn the code after the loop exit.
+
+    Args:
+        trace: Profile trace to measure candidate pairs on.
+        config: Distance/lookahead thresholds.
+
+    Returns:
+        The scheme's measured :class:`SpawnPair` list.
+    """
     program = trace.program
     pairs = []
     for branch_pc in program.backward_branch_pcs():
@@ -144,7 +160,15 @@ def loop_continuation_pairs(trace: Trace, config: HeuristicConfig) -> List[Spawn
 def subroutine_continuation_pairs(
     trace: Trace, config: HeuristicConfig
 ) -> List[SpawnPair]:
-    """SP = call site, CQIP = its static return point."""
+    """Subroutine-continuation scheme: spawn a call's return point.
+
+    Args:
+        trace: Profile trace to measure candidate pairs on.
+        config: Distance/lookahead thresholds.
+
+    Returns:
+        The scheme's measured :class:`SpawnPair` list.
+    """
     pairs = []
     for call_pc in trace.program.call_sites():
         cqip = call_pc + 1
@@ -173,6 +197,14 @@ def heuristic_pairs(
 
     When one spawning point matches several constructs, kind priority
     decides which fires (see ``_KIND_PRIORITY``); distance breaks ties.
+
+    Args:
+        trace: Profile trace to measure candidate pairs on.
+        config: Which schemes to include plus their thresholds
+            (None = all three with defaults).
+
+    Returns:
+        The combined :class:`SpawnPairSet` (the Figure 8 baseline).
     """
     config = config or HeuristicConfig()
     pairs: List[SpawnPair] = []

@@ -34,6 +34,7 @@ class SpawnPair:
     score: float = 0.0
 
     def key(self) -> tuple:
+        """Return the pair's identity: the ``(sp_pc, cqip_pc)`` tuple."""
         return (self.sp_pc, self.cqip_pc)
 
 
@@ -62,23 +63,28 @@ class SpawnPairSet:
         return iter(self.primary_pairs())
 
     def spawning_points(self) -> List[int]:
+        """Return every distinct spawning-point pc in the set."""
         return list(self._by_sp.keys())
 
     def alternatives(self, sp_pc: int) -> List[SpawnPair]:
+        """Return the SP's CQIP candidates in decreasing preference."""
         return self._by_sp.get(sp_pc, [])
 
     def primary(self, sp_pc: int) -> Optional[SpawnPair]:
+        """Return the SP's best pair (None when the SP is unknown)."""
         alts = self._by_sp.get(sp_pc)
         return alts[0] if alts else None
 
     def primary_pairs(self) -> List[SpawnPair]:
+        """Return the best pair of every spawning point."""
         return [alts[0] for alts in self._by_sp.values() if alts]
 
     def all_pairs(self) -> List[SpawnPair]:
+        """Return every pair, including non-primary alternatives."""
         return [p for alts in self._by_sp.values() for p in alts]
 
     def merged_with(self, other: "SpawnPairSet") -> "SpawnPairSet":
-        """Union of two pair sets (first set wins on duplicate pairs)."""
+        """Return the union of two pair sets (self wins on duplicates)."""
         seen = {p.key() for p in self.all_pairs()}
         merged = self.all_pairs() + [
             p for p in other.all_pairs() if p.key() not in seen

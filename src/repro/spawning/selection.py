@@ -64,7 +64,12 @@ class ProfilePolicyConfig:
 def select_profile_pairs(
     trace: Trace, config: Optional[ProfilePolicyConfig] = None
 ) -> SpawnPairSet:
-    """Run the full profile-based selection on ``trace``."""
+    """Run the full profile-based selection on ``trace``.
+
+    Returns:
+        The selected :class:`SpawnPairSet` (one primary pair per SP,
+        with lower-scored alternatives kept for the reassign policy).
+    """
     config = config or ProfilePolicyConfig()
     if config.ordering not in ("distance", "independent", "predictable"):
         raise ValueError(f"unknown ordering criterion {config.ordering!r}")

@@ -18,7 +18,7 @@ _FORMAT_VERSION = 1
 
 
 def pair_set_to_dict(pairs: SpawnPairSet) -> dict:
-    """JSON-serialisable representation of a pair set."""
+    """Return the JSON-serialisable representation of a pair set."""
     return {
         "version": _FORMAT_VERSION,
         "candidates_evaluated": pairs.candidates_evaluated,
@@ -37,7 +37,7 @@ def pair_set_to_dict(pairs: SpawnPairSet) -> dict:
 
 
 def pair_set_from_dict(data: dict) -> SpawnPairSet:
-    """Inverse of :func:`pair_set_to_dict`."""
+    """Return the pair set encoded by :func:`pair_set_to_dict`."""
     version = data.get("version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported pair-table version: {version!r}")
@@ -63,5 +63,9 @@ def save_pair_set(pairs: SpawnPairSet, path: Union[str, Path]) -> None:
 
 
 def load_pair_set(path: Union[str, Path]) -> SpawnPairSet:
-    """Read a pair table previously written by :func:`save_pair_set`."""
+    """Read back a pair table written by :func:`save_pair_set`.
+
+    Returns:
+        The deserialised :class:`SpawnPairSet`.
+    """
     return pair_set_from_dict(json.loads(Path(path).read_text()))

@@ -1,4 +1,12 @@
-"""Workload registry: build programs and (cached) traces by name."""
+"""Workload registry: build programs and (cached) traces by name.
+
+``load_trace`` memoizes in-process (``functools.lru_cache``); the
+experiment layer adds an on-disk layer on top —
+``repro.experiments.framework.trace_for`` stores traces in the
+content-addressed :class:`~repro.cache.ArtifactCache`, keyed by
+(workload, scale, dataset) plus the generating code's digest, so sweeps
+and parallel workers share one functional execution per workload.
+"""
 
 from __future__ import annotations
 
@@ -48,14 +56,24 @@ SPECINT95: Dict[str, WorkloadSpec] = {
 
 
 def workload_names() -> List[str]:
-    """Suite members in canonical (paper) order."""
+    """Return the suite members in canonical (paper) order."""
     return list(SPECINT95.keys())
 
 
 def build_workload(
     name: str, scale: float = 1.0, dataset: str = "train"
 ) -> Program:
-    """Build the named workload's program."""
+    """Build the named workload's program.
+
+    Args:
+        name: Workload name (see :func:`workload_names`).
+        scale: Trip-count multiplier (1.0 = the default size).
+        dataset: Input variant (``train``/``ref``) — reshuffles data,
+            never changes the program text.
+
+    Returns:
+        The assembled :class:`~repro.isa.program.Program`.
+    """
     try:
         spec = SPECINT95[name]
     except KeyError:
@@ -79,5 +97,14 @@ def load_trace(
     simulation.  ``max_steps`` bounds the functional execution; a workload
     that does not halt within it raises
     :class:`~repro.errors.WorkloadError`.
+
+    Args:
+        name: Workload name (see :func:`workload_names`).
+        scale: Trip-count multiplier.
+        dataset: Input variant (``train``/``ref``).
+        max_steps: Functional-execution step budget (None = unbounded).
+
+    Returns:
+        The memoized :class:`~repro.exec.Trace`.
     """
     return run_program(build_workload(name, scale, dataset), max_steps=max_steps)

@@ -1,0 +1,137 @@
+"""Artifact-cache tests: determinism, invalidation, persistence."""
+
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    canonical_key_fields,
+    generator_version,
+)
+from repro.experiments import framework
+from repro.spawning.pairs import SpawnPair, SpawnPairSet, PairKind
+
+SCALE = 0.12
+
+
+def _tiny_pairs() -> SpawnPairSet:
+    return SpawnPairSet(
+        [
+            SpawnPair(
+                sp_pc=4,
+                cqip_pc=20,
+                reach_probability=0.9,
+                expected_distance=64.0,
+                kind=PairKind.LOOP_ITERATION,
+            )
+        ],
+        candidates_evaluated=3,
+    )
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        a = cache.key("pairs", workload="go", policy="profile", scale=1.0)
+        b = cache.key("pairs", workload="go", policy="profile", scale=1.0)
+        assert a == b
+
+    def test_changed_knob_changes_key(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = cache.key("pairs", workload="go", policy="profile", scale=1.0)
+        assert base != cache.key(
+            "pairs", workload="go", policy="profile", scale=0.5
+        )
+        assert base != cache.key(
+            "pairs", workload="go", policy="heuristics", scale=1.0
+        )
+        assert base != cache.key(
+            "baseline", workload="go", policy="profile", scale=1.0
+        )
+
+    def test_field_order_is_irrelevant(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.key("pairs", a=1, b=2) == cache.key("pairs", b=2, a=1)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            ArtifactCache(tmp_path).key("nonsense", x=1)
+
+    def test_canonical_fields_are_compact_and_sorted(self):
+        text = canonical_key_fields({"b": 2, "a": [1.0, True]})
+        assert text == '{"a":[1.0,true],"b":2}'
+
+    def test_generator_version_is_stable(self):
+        assert generator_version() == generator_version()
+        assert len(generator_version()) == 16
+
+
+class TestRoundTrip:
+    def test_same_key_gives_byte_identical_artifact(self, tmp_path):
+        built = []
+
+        def build():
+            built.append(1)
+            return _tiny_pairs()
+
+        first = ArtifactCache(tmp_path / "a")
+        first.get_or_create("pairs", build, workload="x", scale=SCALE)
+        blob_a = next((tmp_path / "a" / "pairs").iterdir()).read_bytes()
+
+        second = ArtifactCache(tmp_path / "b")
+        second.get_or_create("pairs", build, workload="x", scale=SCALE)
+        blob_b = next((tmp_path / "b" / "pairs").iterdir()).read_bytes()
+
+        assert blob_a == blob_b
+        assert built == [1, 1]
+
+    def test_miss_then_memory_then_disk_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        value = cache.get_or_create("pairs", _tiny_pairs, workload="x")
+        assert cache.stats.misses == 1 and cache.stats.puts == 1
+        again = cache.get_or_create("pairs", _tiny_pairs, workload="x")
+        assert again is value
+        assert cache.stats.memory_hits == 1
+
+        fresh = ArtifactCache(tmp_path)
+        reloaded = fresh.get_or_create("pairs", _tiny_pairs, workload="x")
+        assert fresh.stats.disk_hits == 1 and fresh.stats.misses == 0
+        assert [p.key() for p in reloaded.all_pairs()] == [
+            p.key() for p in value.all_pairs()
+        ]
+
+    def test_changed_knob_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get_or_create("pairs", _tiny_pairs, workload="x", scale=1.0)
+        cache.get_or_create("pairs", _tiny_pairs, workload="x", scale=0.5)
+        assert cache.stats.misses == 2
+
+    def test_clear_empties_the_store(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get_or_create("pairs", _tiny_pairs, workload="x")
+        cache.get_or_create("baseline", lambda: 123, workload="x")
+        assert cache.clear("pairs") == 1
+        assert cache.clear() == 1
+        assert cache.disk_summary() == {}
+
+    def test_trace_round_trip_preserves_instructions(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with framework.use_cache(cache):
+            first = framework.trace_for("compress", SCALE)
+        framework.load_trace.cache_clear()
+        with framework.use_cache(ArtifactCache(tmp_path)):
+            second = framework.trace_for("compress", SCALE)
+        assert len(first) == len(second)
+        assert [d.pc for d in first] == [d.pc for d in second]
+
+
+class TestFrameworkIntegration:
+    def test_baseline_memoized_on_disk(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with framework.use_cache(cache):
+            cycles = framework.baseline_cycles("compress", scale=SCALE)
+        framework.clear_memos()
+        fresh = ArtifactCache(tmp_path)
+        with framework.use_cache(fresh):
+            assert framework.baseline_cycles("compress", scale=SCALE) == cycles
+        assert fresh.stats.disk_hits >= 1
+        framework.clear_memos()

@@ -1,0 +1,99 @@
+"""Docstring-audit tests: the rules work and the tree is clean."""
+
+import textwrap
+
+from repro.analysis.docstrings import (
+    DEFAULT_TARGETS,
+    DOC_RULES,
+    audit_docstrings,
+)
+
+
+def _audit_source(tmp_path, source):
+    """Audit one synthetic module and return its rule ids."""
+    (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+    issues = audit_docstrings(targets=["mod"], src_root=tmp_path)
+    return [issue.rule for issue in issues]
+
+
+class TestRules:
+    def test_missing_docstrings_flagged(self, tmp_path):
+        rules = _audit_source(
+            tmp_path,
+            '''
+            def public(): pass
+
+            class Thing:
+                def method(self): pass
+            ''',
+        )
+        # module + function + class + method all lack docstrings.
+        assert rules == ["missing-docstring"] * 4
+
+    def test_private_names_skipped(self, tmp_path):
+        rules = _audit_source(
+            tmp_path,
+            '''
+            """Module."""
+
+            def _helper(): pass
+
+            class _Private:
+                def method(self): pass
+            ''',
+        )
+        assert rules == []
+
+    def test_args_and_returns_rules(self, tmp_path):
+        rules = _audit_source(
+            tmp_path,
+            '''
+            """Module."""
+
+            def undocumented_io(alpha, beta):
+                """Do things."""
+                return alpha + beta
+
+            def documented(alpha, beta):
+                """Return the sum of ``alpha`` and ``beta``."""
+                return alpha + beta
+            ''',
+        )
+        assert sorted(rules) == ["args-undocumented", "returns-undocumented"]
+
+    def test_property_getter_needs_no_returns(self, tmp_path):
+        rules = _audit_source(
+            tmp_path,
+            '''
+            """Module."""
+
+            class Thing:
+                """A thing."""
+
+                @property
+                def size(self):
+                    """The current size."""
+                    return 3
+            ''',
+        )
+        assert rules == []
+
+    def test_issue_format_and_severity(self, tmp_path):
+        (tmp_path / "mod.py").write_text("def f(): pass\n")
+        issues = audit_docstrings(targets=["mod"], src_root=tmp_path)
+        assert {i.severity for i in issues} == {"warning"}
+        assert all(i.rule in DOC_RULES for i in issues)
+        assert "mod:" in issues[0].format()
+
+
+class TestRepositoryIsClean:
+    def test_audited_packages_have_no_warnings(self):
+        issues = audit_docstrings(DEFAULT_TARGETS)
+        warnings = [i.format() for i in issues if i.severity == "warning"]
+        assert warnings == []
+
+    def test_audited_packages_have_no_infos(self):
+        # Stronger than CI's warn-only gate: the tree currently documents
+        # args and returns everywhere, keep it that way.
+        issues = audit_docstrings(DEFAULT_TARGETS)
+        assert [i.format() for i in issues] == []

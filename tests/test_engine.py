@@ -1,0 +1,175 @@
+"""Parallel-engine tests: serial/parallel equivalence and resume."""
+
+import pytest
+
+from repro.experiments import figures, framework
+from repro.experiments.engine import (
+    ParallelEngine,
+    Point,
+    execute_point,
+    figure_points,
+    run_figure,
+)
+from repro.experiments.framework import ResilientOutcome, SweepCheckpoint
+
+SCALE = 0.12
+
+
+def _mini_points(scale=SCALE, workloads=("compress", "li")):
+    """A two-workload mini-sweep (the cheapest simulate points)."""
+    return [
+        Point(
+            key=f"mini|{name}",
+            runner="simulate",
+            params={
+                "name": name,
+                "policy": "profile",
+                "scale": scale,
+                "overrides": {},
+            },
+        )
+        for name in workloads
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    framework.clear_memos()
+    yield
+    framework.clear_memos()
+
+
+class TestPoints:
+    def test_figure_points_cover_both_policies(self):
+        points = figure_points("figure8", SCALE)
+        keys = [p.key for p in points]
+        assert len(keys) == len(set(keys))
+        policies = {p.params["policy"] for p in points}
+        assert policies == {"profile", "heuristics"}
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            figure_points("figure99")
+
+    def test_points_are_picklable(self):
+        import pickle
+
+        for point in figure_points("figure8", SCALE):
+            assert pickle.loads(pickle.dumps(point)) == point
+
+    def test_execute_point_matches_direct_run(self):
+        point = _mini_points()[0]
+        payload = execute_point(point)
+        stats = framework.run_policy("compress", "profile", scale=SCALE)
+        assert payload["cycles"] == stats.cycles
+        assert payload["baseline"] == framework.baseline_cycles(
+            "compress", scale=SCALE
+        )
+
+
+class TestEquivalence:
+    def test_parallel_equals_serial_mini_sweep(self, tmp_path):
+        points = _mini_points()
+        serial = ParallelEngine(jobs=1, cache_dir=tmp_path / "serial")
+        serial_results = serial.run(points)
+
+        framework.clear_memos()
+        parallel = ParallelEngine(jobs=2, cache_dir=tmp_path / "parallel")
+        parallel_results = parallel.run(points)
+
+        assert list(serial_results) == list(parallel_results)
+        for key in serial_results:
+            assert serial_results[key].ok and parallel_results[key].ok
+            assert serial_results[key].value == parallel_results[key].value
+
+    def test_run_figure_parallel_equals_serial(self, tmp_path):
+        serial = run_figure(
+            "figure3", SCALE, ParallelEngine(jobs=1, cache_dir=tmp_path / "s")
+        )
+        framework.clear_memos()
+        parallel = run_figure(
+            "figure3", SCALE, ParallelEngine(jobs=2, cache_dir=tmp_path / "p")
+        )
+        assert serial.series == parallel.series
+        assert serial.summary == parallel.summary
+        assert serial.render() == parallel.render()
+
+    def test_warm_cache_serves_repeat_sweep(self, tmp_path):
+        points = _mini_points()
+        engine = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        first = engine.run(points)
+        framework.clear_memos()
+        warm = ParallelEngine(jobs=1, cache_dir=tmp_path)
+        second = warm.run(points)
+        assert warm.cache_hit_rate() == 1.0
+        for key in first:
+            assert first[key].value == second[key].value
+
+    def test_duplicate_keys_rejected(self):
+        point = _mini_points()[0]
+        with pytest.raises(ValueError):
+            ParallelEngine(jobs=1).run([point, point])
+
+
+class TestCheckpointResume:
+    def test_resume_mid_sweep_under_jobs_4(self, tmp_path):
+        points = _mini_points(workloads=("compress", "li", "ijpeg"))
+        store = tmp_path / "sweep.ckpt.json"
+
+        # First run completes only one point (simulating a killed sweep).
+        first = ParallelEngine(jobs=1, cache_dir=tmp_path / "cache")
+        done = first.run(points[:1], checkpoint=SweepCheckpoint(store))
+        assert done[points[0].key].ok
+
+        framework.clear_memos()
+        seen = []
+        resumed_engine = ParallelEngine(jobs=4, cache_dir=tmp_path / "cache")
+        results = resumed_engine.run(
+            points,
+            checkpoint=SweepCheckpoint(store),
+            progress=lambda key, outcome, resumed: seen.append((key, resumed)),
+        )
+        assert list(results) == [p.key for p in points]
+        assert all(outcome.ok for outcome in results.values())
+        assert (points[0].key, True) in seen  # replayed, not re-run
+        assert {key for key, resumed in seen if not resumed} == {
+            p.key for p in points[1:]
+        }
+
+        # A third run resumes everything.
+        framework.clear_memos()
+        third = ParallelEngine(jobs=4, cache_dir=tmp_path / "cache")
+        replay = third.run(points, checkpoint=SweepCheckpoint(store))
+        assert {k: o.value for k, o in replay.items()} == {
+            k: o.value for k, o in results.items()
+        }
+
+    def test_failed_outcome_round_trips_checkpoint(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "c.json")
+        outcome = ResilientOutcome(
+            ok=False, value=None, attempts=3,
+            error="boom", error_type="RuntimeError",
+        )
+        store.record("bad", outcome)
+        replay = SweepCheckpoint(tmp_path / "c.json").get("bad")
+        assert replay == outcome
+
+
+class TestSeeding:
+    def test_seeded_stats_feed_figure_driver(self):
+        payload = {
+            "cycles": 100,
+            "baseline": 400,
+            "speedup": 4.0,
+            "avg_active_threads": 2.0,
+            "avg_thread_size": 10.0,
+            "value_hit_rate": 0.9,
+        }
+        figures.seed_run(
+            "compress", "profile", framework.EXPERIMENT_CONFIG, SCALE, payload
+        )
+        stats = figures.cached_run(
+            "compress", "profile", framework.EXPERIMENT_CONFIG, SCALE
+        )
+        assert stats.cycles == 100
+        assert framework.baseline_cycles("compress", scale=SCALE) == 400

@@ -73,6 +73,40 @@ class TestFigureResult:
         )
         assert "paper" not in result.render()
 
+    def test_render_grows_columns_for_long_names(self):
+        long_bench = "extraordinarily_long_benchmark_name"
+        long_series = "self_profiled_speedup"
+        long_summary = "cross_profiled_hmean"
+        result = FigureResult(
+            figure="F",
+            title="overflow",
+            benchmarks=[long_bench, "li"],
+            series={long_series: [1.2345, 1234567.89], "s": [1.0, 2.0]},
+            summary={long_summary: 1.33},
+        )
+        lines = result.render().splitlines()
+        header, row_a, row_b, summary_row = lines[1:5]
+
+        # The name column fits the widest of header/benchmarks/summary
+        # labels, so every row aligns on the same boundary.
+        name_col = max(
+            len("benchmark"), len(long_bench), len("li"), len(long_summary)
+        )
+        assert header.startswith(f"{'benchmark':>{name_col}} ")
+        assert row_a.startswith(f"{long_bench:>{name_col}} ")
+        assert row_b.startswith(f"{'li':>{name_col}} ")
+        assert summary_row.startswith(f"{long_summary:>{name_col}} ")
+
+        # A value column is as wide as its label and its widest value;
+        # adjacent cells never fuse.
+        value_col = max(len(long_series), len("1234567.89"))
+        assert header.split()[1] == long_series
+        assert row_a[name_col + 1:].startswith(f"{1.2345:>{value_col}.2f}")
+        assert row_b[name_col + 1:].startswith(
+            f"{1234567.89:>{value_col}.2f}"
+        )
+        assert " 1234567.89 " in f"{row_b} "
+
 
 class TestFigureDrivers:
     """Run the cheap figure drivers end-to-end at a tiny scale."""
