@@ -1,0 +1,58 @@
+"""Simulator-core benchmark — the BENCH_simcore.json source.
+
+Measures the columnar hot-loop core against the legacy dict-based core:
+cold vs warm columnar-trace builds through the artifact cache, the
+equal-stats grid (every workload × pair scheme × value predictor must
+be bit-identical across cores), and a cold Figure-8 sweep (jobs=1,
+warm traces and pairs) timed under each core.  The CLI equivalent,
+which CI runs and archives, is::
+
+    python -m repro bench --smoke --jobs 2
+
+Run directly with ``pytest benchmarks/bench_simcore.py``.  The ≥2×
+speed-up gate applies at this module's scale (the committed
+``BENCH_simcore.json`` scale); ``--smoke`` CLI runs only enforce the
+correctness and cache gates.
+"""
+
+from repro.experiments.bench import (
+    SIMCORE_SPEEDUP_TARGET,
+    run_simcore_bench,
+    write_simcore_report,
+)
+
+#: The committed-report scale (matches BENCH_SCALE of the figure
+#: harness): large enough that the hot loop, not fixed setup costs,
+#: dominates the sweep timing.
+SIMCORE_SCALE = 0.3
+
+
+def test_simcore_bench_gates(tmp_path):
+    report = run_simcore_bench(
+        scale=SIMCORE_SCALE,
+        cache_dir=tmp_path / "cache",
+        enforce_speedup=True,
+    )
+
+    # Correctness: the cores agree on every grid point and sweep series.
+    assert report["equal_results"], report["equal_stats"]["mismatches"]
+    assert report["equal_stats"]["points"] == (
+        len(report["workloads"])
+        * len(report["policies"])
+        * len(report["predictors"])
+    )
+
+    # Cache: a warm columnar build is served entirely from the cache.
+    cache = report["columns_cache"]
+    assert cache["cold"]["puts"] > 0
+    assert cache["warm"]["misses"] == 0
+    assert cache["warm_hit_rate"] == 1.0
+
+    # Throughput: the columnar core clears the speed-up target cold.
+    sweep = report["sweep"]
+    assert sweep["speedup"] >= SIMCORE_SPEEDUP_TARGET, sweep
+    assert sweep["columnar"]["insts_per_sec"] > sweep["legacy"]["insts_per_sec"]
+    assert report["ok"]
+
+    out = write_simcore_report(report, tmp_path / "BENCH_simcore.json")
+    assert out.is_file() and out.stat().st_size > 0

@@ -105,6 +105,7 @@ def _json_loads(blob: bytes) -> Any:
 _CODECS: Dict[str, Tuple[str, Callable[[Any], bytes], Callable[[bytes], Any]]] = {
     "program": ("pkl", _pickle_dumps, pickle.loads),
     "trace": ("pkl", _trace_dumps, _trace_loads),
+    "columns": ("pkl", _pickle_dumps, pickle.loads),
     "profile": ("pkl", _pickle_dumps, pickle.loads),
     "pairs": ("json", _pairs_dumps, _pairs_loads),
     "baseline": ("json", _json_dumps, _json_loads),
@@ -247,8 +248,8 @@ class ArtifactCache:
         """Return the cached artifact for ``fields``, building on a miss.
 
         Args:
-            kind: Artifact kind (``program``, ``trace``, ``profile``,
-                ``pairs``, ``baseline`` or ``point``).
+            kind: Artifact kind (``program``, ``trace``, ``columns``,
+                ``profile``, ``pairs``, ``baseline`` or ``point``).
             build: Zero-argument callable producing the artifact.
             **fields: Every knob that influences the artifact's content.
 

@@ -27,8 +27,11 @@ Commands
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the on-disk artifact cache.
 ``bench``
-    Benchmark the parallel engine and cache; writes
-    ``BENCH_parallel.json``.
+    Benchmark the parallel engine and cache (``BENCH_parallel.json``)
+    and the simulator core (``BENCH_simcore.json``).
+``profile <workload>``
+    Per-phase timings (trace build, column build, pair selection,
+    simulate, commit check) and cProfile hotspots of one point.
 
 Exit codes
 ----------
@@ -39,7 +42,9 @@ emitted (or any warning under ``--strict``; with ``--docstrings`` it is
 warn-only unless ``--strict``), ``validate-pairs`` returns 1 when any
 pair has an error-severity finding, and ``faults`` returns 1 when a
 campaign gate fails — all three are safe to gate CI on.  ``bench``
-returns 1 when the phases disagree on figure results.  Structured
+returns 1 when the phases disagree on figure results or a sim-core
+gate fails, and ``profile`` returns 1 when a commit invariant is
+violated.  Structured
 simulation/execution failures (timeouts, invariant violations, runaway
 workloads) exit 3 with a one-line message instead of a traceback.
 """
@@ -403,32 +408,82 @@ def cmd_cache(args) -> int:
 def cmd_bench(args) -> int:
     import tempfile
 
-    from repro.experiments.bench import run_bench, write_bench_report
+    from repro.experiments.bench import (
+        run_bench,
+        run_simcore_bench,
+        write_bench_report,
+        write_simcore_report,
+    )
 
     figure = _normalize_figure(args.fig)
     scale = 0.2 if args.smoke and args.scale is None else (args.scale or 0.3)
+    simcore_scale = (
+        0.12 if args.smoke and args.scale is None else (args.scale or 0.3)
+    )
     progress = (lambda line: print(line, file=sys.stderr))
 
     def bench(cache_dir: str):
-        return run_bench(
+        parallel = run_bench(
             figure=figure,
             scale=scale,
             jobs=args.jobs,
             cache_dir=cache_dir,
             progress=progress,
         )
+        simcore = None
+        if not args.skip_simcore:
+            simcore = run_simcore_bench(
+                scale=simcore_scale,
+                cache_dir=cache_dir,
+                progress=progress,
+                # At smoke scale the fixed per-run costs dominate, so
+                # only the correctness/cache gates decide pass/fail.
+                enforce_speedup=not args.smoke,
+            )
+        return parallel, simcore
 
     if args.cache_dir:
-        report = bench(args.cache_dir)
+        report, simcore = bench(args.cache_dir)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-            report = bench(tmp)
+            report, simcore = bench(tmp)
     path = write_bench_report(report, args.out)
     print(f"wrote {path} (equal_results={report['equal_results']}, "
           f"warm speedup jobs=1 {report['warm_speedup_jobs1']}x, "
           f"jobs={report['parallel_jobs']} "
           f"{report['warm_speedup_jobsN']}x)")
-    return 0 if report["equal_results"] else 1
+    ok = report["equal_results"]
+    if simcore is not None:
+        simcore_path = write_simcore_report(simcore, args.simcore_out)
+        print(
+            f"wrote {simcore_path} (equal_results="
+            f"{simcore['equal_results']}, cold sweep speedup "
+            f"{simcore['sweep']['speedup']}x, warm columns hit rate "
+            f"{simcore['columns_cache']['warm_hit_rate']:.0%})"
+        )
+        ok = ok and simcore["ok"]
+    return 0 if ok else 1
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments.profiler import profile_run
+
+    report = profile_run(
+        workload=args.workload,
+        scale=args.scale,
+        policy=args.policy,
+        value_predictor=args.vp,
+        sim_core=args.core,
+        top=args.top,
+        with_profile=not args.no_cprofile,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -584,8 +639,32 @@ def make_parser() -> argparse.ArgumentParser:
                    help="small fast benchmark for CI")
     p.add_argument("--out", default="BENCH_parallel.json",
                    help="report path (default BENCH_parallel.json)")
+    p.add_argument("--simcore-out", default="BENCH_simcore.json",
+                   help="sim-core report path (default BENCH_simcore.json)")
+    p.add_argument("--skip-simcore", action="store_true",
+                   help="skip the simulator-core benchmark phase")
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: a fresh temp dir)")
+
+    p = sub.add_parser(
+        "profile",
+        help="per-phase timings and cProfile hotspots of one point",
+    )
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="workload size multiplier (default 0.3)")
+    p.add_argument("--policy", choices=("profile", "heuristics"),
+                   default="profile")
+    p.add_argument("--vp", default="stride",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    p.add_argument("--core", choices=("columnar", "legacy"),
+                   default="columnar", help="simulator core to profile")
+    p.add_argument("--top", type=int, default=15,
+                   help="hotspot functions to report (default 15)")
+    p.add_argument("--no-cprofile", action="store_true",
+                   help="phase timings only (no function-level profile)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
     return parser
 
 
@@ -603,6 +682,7 @@ _COMMANDS = {
     "exp": cmd_exp,
     "cache": cmd_cache,
     "bench": cmd_bench,
+    "profile": cmd_profile,
 }
 
 

@@ -113,6 +113,13 @@ class ProcessorConfig:
     #: (used only when a FaultInjector is attached).
     fault_restart_penalty: int = 16
 
+    # --- implementation selection (never changes results) ---
+    #: Simulator core implementation: "columnar" (default — struct-of-
+    #: arrays trace columns and ring-buffer issue booking) or "legacy"
+    #: (the original object-graph core, kept as the bit-identical
+    #: reference for the equal-stats gate and BENCH_simcore).
+    sim_core: str = "columnar"
+
     def __post_init__(self) -> None:
         if self.num_thread_units < 1:
             raise ValueError("need at least one thread unit")
@@ -144,6 +151,8 @@ class ProcessorConfig:
             raise ValueError("livelock_threshold must be >= 1 when set")
         if self.fault_restart_penalty < 0:
             raise ValueError("fault_restart_penalty cannot be negative")
+        if self.sim_core not in ("columnar", "legacy"):
+            raise ValueError(f"unknown sim_core {self.sim_core!r}")
 
     def with_(self, **overrides) -> "ProcessorConfig":
         """Return a copy of the config with the given fields replaced."""

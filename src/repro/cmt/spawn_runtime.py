@@ -47,6 +47,15 @@ class SpawnRuntime:
     def is_spawning_point(self, pc: int) -> bool:
         return pc in self._alternatives
 
+    def spawn_pcs(self) -> frozenset:
+        """The static set of spawning-point PCs.
+
+        Pair removal/revival only changes :meth:`candidates`, never this
+        set, so callers may hoist it (the columnar core keeps it as a
+        frozenset for its fetch loop's membership test).
+        """
+        return frozenset(self._alternatives)
+
     def _is_removed(self, key: PairKey, cycle: int) -> bool:
         removed_at = self._removed.get(key)
         if removed_at is None:
@@ -63,11 +72,17 @@ class SpawnRuntime:
     def candidates(self, sp_pc: int, cycle: int = 0) -> List[SpawnPair]:
         """Live pairs for an SP: the best one, or all of them in preference
         order under the reassign policy."""
-        alive = [
-            pair
-            for pair in self._alternatives.get(sp_pc, [])
-            if not self._is_removed(pair.key(), cycle)
-        ]
+        if not self._removed:
+            # No pair is removed (the common case when the removal
+            # policies are off): the stored preference order is the
+            # answer, no per-pair liveness filtering needed.
+            alive = self._alternatives.get(sp_pc, [])
+        else:
+            alive = [
+                pair
+                for pair in self._alternatives.get(sp_pc, [])
+                if not self._is_removed(pair.key(), cycle)
+            ]
         if not alive:
             return []
         if self.config.reassign:

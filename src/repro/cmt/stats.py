@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
@@ -104,6 +104,15 @@ class SimulationStats:
         if not self.cache_accesses:
             return 0.0
         return self.cache_misses / self.cache_accesses
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full structural dump (every counter, sizes, timeline).
+
+        Used by the golden-stats regression fixture and the sim-core
+        equal-stats gate: two simulations are considered bit-identical
+        exactly when their ``to_dict()`` results compare equal.
+        """
+        return asdict(self)
 
     def summary(self) -> Dict[str, float]:
         """Flat dict view for tables and logs."""

@@ -1,0 +1,198 @@
+"""Columnar (struct-of-arrays) trace representation.
+
+The timing simulator's hot loop touches a handful of per-instruction
+facts — opcode class, latency, control/memory flags, dependence edges —
+that the object-per-instruction :class:`~repro.exec.trace.DynInst` view
+makes it re-derive on every simulated fetch of every thread.
+:class:`TraceColumns` precomputes them once per trace into flat columns
+indexed by trace position, so the inner loop of
+``ClusteredProcessor._advance`` is all O(1) integer reads with no
+attribute lookups, enum hashing or per-instruction allocation.
+
+Columns are deterministic pure functions of the trace, which makes them
+safe to persist content-addressed in the artifact cache (kind
+``"columns"``) and re-attach to a freshly loaded trace.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.isa.instructions import FU_INDEX, Opcode, fu_class, latency_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.exec.trace import Trace
+
+#: Flag bits of the ``flags`` column.
+F_BRANCH = 1  #: conditional branch (``DynInst.taken is not None``)
+F_TAKEN = 2  #: conditional branch whose recorded outcome is taken
+F_UNCOND = 4  #: unconditional transfer (JUMP/CALL/RET) — ends a fetch group
+F_LOAD = 8
+F_STORE = 16
+
+#: FU ordinal used for both loads and stores.
+LDST_INDEX = FU_INDEX[fu_class(Opcode.LOAD)]
+
+_UNCOND_OPS = (Opcode.JUMP, Opcode.CALL, Opcode.RET)
+
+_FIELDS = (
+    "pc",
+    "flags",
+    "fu",
+    "lat",
+    "addr",
+    "mem_dep",
+    "dep_pairs",
+    "scan_reads",
+    "dst_nz",
+    "dst_value",
+)
+
+
+class TraceColumns:
+    """Struct-of-arrays view of one :class:`~repro.exec.trace.Trace`.
+
+    All columns are indexed by trace position:
+
+    - ``pc``: instruction address (tuple of int).
+    - ``flags``: bitmask of ``F_BRANCH``/``F_TAKEN``/``F_UNCOND``/
+      ``F_LOAD``/``F_STORE``.
+    - ``fu``: functional-unit class ordinal (see
+      :data:`repro.isa.instructions.FU_CLASSES`).
+    - ``lat``: execution latency (loads still add the cache access on top,
+      exactly as ``latency_of``).
+    - ``addr``: word address touched by a load/store, -1 otherwise
+      (``array('q')``).
+    - ``mem_dep``: position of the store feeding this load, -1 if none or
+      not a load (``array('q')``; mirrors ``Trace.memory_deps``).
+    - ``dep_pairs``: tuple of ``(producer, reg)`` register dependences in
+      source order, restricted to recorded producers (``producer >= 0``) —
+      the only entries the timing loop acts on.
+    - ``scan_reads``: tuple of ``(reg, producer)`` source reads in source
+      order with ``reg != 0``, producer possibly -1 — the live-in scan's
+      view (it must also see unproduced reads).
+    - ``dst_nz``: destination register if written and non-zero, else -1.
+    - ``dst_value``: value written by the instruction (None when no
+      destination) — read only at producer positions.
+    """
+
+    __slots__ = _FIELDS + ("length",)
+
+    def __init__(
+        self,
+        pc: Tuple[int, ...],
+        flags: Tuple[int, ...],
+        fu: Tuple[int, ...],
+        lat: Tuple[int, ...],
+        addr: "array",
+        mem_dep: "array",
+        dep_pairs: Tuple[Tuple[Tuple[int, int], ...], ...],
+        scan_reads: Tuple[Tuple[Tuple[int, int], ...], ...],
+        dst_nz: Tuple[int, ...],
+        dst_value: List,
+    ):
+        self.pc = pc
+        self.flags = flags
+        self.fu = fu
+        self.lat = lat
+        self.addr = addr
+        self.mem_dep = mem_dep
+        self.dep_pairs = dep_pairs
+        self.scan_reads = scan_reads
+        self.dst_nz = dst_nz
+        self.dst_value = dst_value
+        self.length = len(pc)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, trace: "Trace") -> "TraceColumns":
+        """Derive the columns from ``trace`` (one linear pass)."""
+        insts = trace.insts
+        reg_deps = trace.register_deps
+        mem_deps = trace.memory_deps
+        n = len(insts)
+        pc: List[int] = [0] * n
+        flags: List[int] = [0] * n
+        fu: List[int] = [0] * n
+        lat: List[int] = [0] * n
+        addr = array("q", bytes(8 * n)) if n else array("q")
+        dep_pairs: List[Tuple[Tuple[int, int], ...]] = [()] * n
+        scan_reads: List[Tuple[Tuple[int, int], ...]] = [()] * n
+        dst_nz: List[int] = [-1] * n
+        dst_value: List = [None] * n
+        for pos, inst in enumerate(insts):
+            op = inst.op
+            pc[pos] = inst.pc
+            bits = 0
+            if inst.taken is not None:
+                bits = F_BRANCH | (F_TAKEN if inst.taken else 0)
+            elif op in _UNCOND_OPS:
+                bits = F_UNCOND
+            if op is Opcode.LOAD:
+                bits |= F_LOAD
+            elif op is Opcode.STORE:
+                bits |= F_STORE
+            flags[pos] = bits
+            fu[pos] = FU_INDEX[fu_class(op)]
+            lat[pos] = latency_of(op)
+            addr[pos] = inst.addr if inst.addr is not None else -1
+            deps = reg_deps[pos]
+            if deps:
+                srcs = inst.srcs
+                dep_pairs[pos] = tuple(
+                    (producer, srcs[i])
+                    for i, producer in enumerate(deps)
+                    if producer >= 0
+                )
+                scan_reads[pos] = tuple(
+                    (reg, deps[i])
+                    for i, reg in enumerate(srcs)
+                    if reg != 0
+                )
+            if inst.dst is not None and inst.dst != 0:
+                dst_nz[pos] = inst.dst
+            dst_value[pos] = inst.dst_value
+        return cls(
+            pc=tuple(pc),
+            flags=tuple(flags),
+            fu=tuple(fu),
+            lat=tuple(lat),
+            addr=addr,
+            mem_dep=array("q", mem_deps),
+            dep_pairs=tuple(dep_pairs),
+            scan_reads=tuple(scan_reads),
+            dst_nz=tuple(dst_nz),
+            dst_value=dst_value,
+        )
+
+    # -- protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceColumns):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in _FIELDS
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    # arrays/lists are unhashable anyway; be explicit.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in _FIELDS)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(_FIELDS, state):
+            setattr(self, name, value)
+        self.length = len(self.pc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceColumns(length={self.length})"

@@ -85,6 +85,8 @@ class Trace:
       dataflow timing and the independence/predictability profiles.
     """
 
+    _columns = None  # lazily built / attached TraceColumns
+
     def __init__(self, program: Program, insts: List[DynInst]):
         self.program = program
         self.insts = insts
@@ -120,7 +122,12 @@ class Trace:
         return self.pc_index.get(pc, ())
 
     def next_occurrence(self, pc: int, after: int, before: int) -> Optional[int]:
-        """First position of ``pc`` in the open interval (after, before)."""
+        """First position of ``pc`` in the open interval (after, before).
+
+        Called once per spawn attempt per candidate pair, so it bisects
+        the precomputed per-pc position lists rather than scanning the
+        trace linearly.
+        """
         positions = self.pc_index.get(pc)
         if not positions:
             return None
@@ -199,3 +206,35 @@ class Trace:
                     entry[1].append(inst.dst_value)
             self._register_writes = writes
         return self._register_writes
+
+    # ------------------------------------------------------------------
+    # Columnar view (timing-simulator hot path).
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self):
+        """Struct-of-arrays view of the trace (see
+        :class:`repro.exec.columns.TraceColumns`).
+
+        Built lazily on first access and memoised on the trace; a
+        cache-restored copy can be installed with :meth:`attach_columns`
+        to skip the build entirely.
+        """
+        if self._columns is None:
+            from repro.exec.columns import TraceColumns
+
+            self._columns = TraceColumns.build(self)
+        return self._columns
+
+    def attach_columns(self, columns) -> None:
+        """Install a prebuilt (e.g. cache-restored) columnar view.
+
+        The columns must describe this exact trace; a length mismatch is
+        rejected outright, deeper mismatches are the caller's contract.
+        """
+        if len(columns) != len(self.insts):
+            raise ValueError(
+                f"columns length {len(columns)} != trace length "
+                f"{len(self.insts)}"
+            )
+        self._columns = columns

@@ -7,7 +7,10 @@ the per-figure sweeps.  Each figure function returns a
 rows/series the paper plots.  :mod:`repro.experiments.engine` fans a
 figure's sweep grid across worker processes (sharing the on-disk
 :class:`~repro.cache.ArtifactCache`), and :mod:`repro.experiments.bench`
-measures the whole machinery for ``BENCH_parallel.json``.
+measures the whole machinery for ``BENCH_parallel.json`` and the
+simulator core for ``BENCH_simcore.json``.
+:mod:`repro.experiments.profiler` breaks one experiment point into
+phase timings and cProfile hotspots (``repro profile``).
 """
 
 from repro.experiments.framework import (
@@ -23,6 +26,7 @@ from repro.experiments.framework import (
     run_resilient,
 )
 from repro.experiments.engine import ParallelEngine, figure_points, run_figure
+from repro.experiments.profiler import ProfileReport, profile_run
 from repro.experiments import figures
 
 __all__ = [
@@ -30,6 +34,8 @@ __all__ = [
     "EXPERIMENT_PROFILE_CONFIG",
     "FigureResult",
     "ParallelEngine",
+    "ProfileReport",
+    "profile_run",
     "ResilientOutcome",
     "SweepCheckpoint",
     "baseline_cycles",

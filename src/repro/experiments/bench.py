@@ -1,4 +1,4 @@
-"""Performance benchmark of the parallel engine and artifact cache.
+"""Performance benchmarks: parallel engine/cache and the simulator core.
 
 ``repro bench`` runs one figure sweep (Figure 8 by default: the full
 suite under both spawning policies) through four phases — jobs=1 and
@@ -6,6 +6,17 @@ jobs=N, each cold-cache then warm-cache — measuring wall-clock seconds
 and cache hit rates, and verifying that every phase produced identical
 figure series.  The report seeds the repository's performance
 trajectory as ``BENCH_parallel.json``.
+
+:func:`run_simcore_bench` benchmarks the simulator core itself: it
+measures cold/warm columnar-trace builds through the artifact cache,
+checks the columnar core against the legacy dict-based core for
+bit-identical stats across the whole workload × policy × predictor
+grid, and times a cold Figure-8 sweep (jobs=1, warm traces and pairs)
+under each core.  The report is ``BENCH_simcore.json``; its gates are
+``equal_results`` (the cores agree everywhere) and
+``columns_cache.warm_hit_rate == 1.0`` (a warm build never recomputes
+columns), with the cold-sweep speed-up checked against
+:data:`SIMCORE_SPEEDUP_TARGET` on full-scale runs.
 
 In-process memos are cleared between phases so the numbers measure the
 on-disk artifact cache, not Python dict lookups.
@@ -23,7 +34,13 @@ from repro.cache import ArtifactCache, generator_version
 from repro.experiments import framework
 from repro.experiments.engine import ParallelEngine, run_figure
 
-__all__ = ["run_bench", "write_bench_report"]
+__all__ = [
+    "run_bench",
+    "write_bench_report",
+    "run_simcore_bench",
+    "write_simcore_report",
+    "SIMCORE_SPEEDUP_TARGET",
+]
 
 
 def _phase(
@@ -127,6 +144,259 @@ def write_bench_report(
     report: Dict[str, Any], path: Union[str, Path] = "BENCH_parallel.json"
 ) -> Path:
     """Write a bench report as pretty JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Simulator-core benchmark (BENCH_simcore.json).
+# ----------------------------------------------------------------------
+
+#: Minimum cold-sweep speed-up (legacy seconds / columnar seconds) the
+#: full-scale benchmark must demonstrate.
+SIMCORE_SPEEDUP_TARGET = 2.0
+
+#: Spawning policies of the equal-stats grid (the two pair schemes the
+#: paper compares).
+SIMCORE_POLICIES = ("profile", "heuristics")
+
+#: Live-in value predictors of the equal-stats grid.
+SIMCORE_PREDICTORS = ("perfect", "stride", "fcm")
+
+
+def _columns_cache_phase(
+    cache_dir: str,
+    scale: float,
+    names: List[str],
+    progress: Optional[Callable[[str], None]],
+) -> Dict[str, Any]:
+    """Cold/warm columnar-trace builds through the artifact cache."""
+
+    def build_all(cache: ArtifactCache) -> float:
+        framework.clear_memos()
+        start = time.perf_counter()
+        with framework.use_cache(cache):
+            for name in names:
+                framework.trace_for(name, scale)
+        return time.perf_counter() - start
+
+    cold_cache = ArtifactCache(cache_dir)
+    cold_cache.clear()
+    cold_seconds = build_all(cold_cache)
+    # A fresh ArtifactCache instance over the same directory: the memory
+    # LRU starts empty, so every warm lookup must be served from disk.
+    warm_cache = ArtifactCache(cache_dir)
+    warm_seconds = build_all(warm_cache)
+    framework.clear_memos()
+    record = {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "cold": cold_cache.stats.to_dict(),
+        "warm": warm_cache.stats.to_dict(),
+        "warm_hit_rate": round(warm_cache.stats.hit_rate, 4),
+    }
+    if progress is not None:
+        progress(
+            f"columns cache: cold {cold_seconds:.2f}s, warm "
+            f"{warm_seconds:.2f}s (hit rate "
+            f"{record['warm_hit_rate']:.0%})"
+        )
+    return record
+
+
+def _equal_stats_phase(
+    scale: float,
+    names: List[str],
+    progress: Optional[Callable[[str], None]],
+) -> Dict[str, Any]:
+    """Legacy vs columnar bit-identical stats across the whole grid."""
+    from repro.cmt import simulate
+
+    base = framework.EXPERIMENT_CONFIG
+    points = 0
+    mismatches: List[str] = []
+    for name in names:
+        trace = framework.trace_for(name, scale)
+        for policy in SIMCORE_POLICIES:
+            pairs = framework.pair_set_for(name, policy, scale)
+            for predictor in SIMCORE_PREDICTORS:
+                legacy = simulate(
+                    trace,
+                    pairs,
+                    base.with_(value_predictor=predictor, sim_core="legacy"),
+                ).to_dict()
+                columnar = simulate(
+                    trace,
+                    pairs,
+                    base.with_(value_predictor=predictor, sim_core="columnar"),
+                ).to_dict()
+                points += 1
+                if legacy != columnar:
+                    mismatches.append(f"{name}/{policy}/{predictor}")
+    record = {
+        "points": points,
+        "mismatches": mismatches,
+        "equal_results": not mismatches,
+    }
+    if progress is not None:
+        progress(
+            f"equal-stats grid: {points} points, "
+            f"{len(mismatches)} mismatch(es)"
+        )
+    return record
+
+
+def _sweep_phase(
+    scale: float,
+    names: List[str],
+    progress: Optional[Callable[[str], None]],
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Cold Figure-8 sweep (jobs=1) under each core, warm trace/pairs.
+
+    Each core's sweep runs ``repeats`` times and reports the fastest
+    pass (the standard defence against one-off scheduler/allocator
+    noise on shared machines); every pass must produce the same series.
+    """
+    from repro.cmt import simulate
+    from repro.spawning import SpawnPairSet
+
+    traces = {name: framework.trace_for(name, scale) for name in names}
+    for trace in traces.values():
+        trace.columns  # build once: the sweep times simulation only
+    pair_sets = {
+        (name, policy): framework.pair_set_for(name, policy, scale)
+        for name in names
+        for policy in SIMCORE_POLICIES
+    }
+    base = framework.EXPERIMENT_CONFIG
+    cores: Dict[str, Dict[str, Any]] = {}
+    for core in ("legacy", "columnar"):
+        config = base.with_(sim_core=core)
+        single = config.single_threaded()
+        runs: List[float] = []
+        instructions = 0
+        series: Dict[str, Dict[str, int]] = {}
+        for _ in range(max(repeats, 1)):
+            instructions = 0
+            series = {}
+            start = time.perf_counter()
+            for name in names:
+                baseline = simulate(traces[name], SpawnPairSet([]), single)
+                instructions += baseline.instructions
+                row = {"baseline": baseline.cycles}
+                for policy in SIMCORE_POLICIES:
+                    stats = simulate(
+                        traces[name], pair_sets[(name, policy)], config
+                    )
+                    instructions += stats.instructions
+                    row[policy] = stats.cycles
+                series[name] = row
+            runs.append(time.perf_counter() - start)
+        seconds = min(runs)
+        cores[core] = {
+            "seconds": round(seconds, 4),
+            "runs": [round(s, 4) for s in runs],
+            "instructions": instructions,
+            "insts_per_sec": round(instructions / seconds) if seconds else 0,
+            "series": series,
+        }
+        if progress is not None:
+            progress(
+                f"sweep [{core}]: {seconds:.2f}s best of {len(runs)} "
+                f"({cores[core]['insts_per_sec']:,} insts/sec)"
+            )
+    columnar_seconds = cores["columnar"]["seconds"]
+    speedup = (
+        round(cores["legacy"]["seconds"] / columnar_seconds, 3)
+        if columnar_seconds
+        else float("inf")
+    )
+    equal_series = cores["legacy"]["series"] == cores["columnar"]["series"]
+    record = {
+        "legacy": {k: v for k, v in cores["legacy"].items() if k != "series"},
+        "columnar": {
+            k: v for k, v in cores["columnar"].items() if k != "series"
+        },
+        "speedup": speedup,
+        "equal_series": equal_series,
+    }
+    if progress is not None:
+        progress(f"sweep speedup: {speedup}x (series equal: {equal_series})")
+    return record
+
+
+def run_simcore_bench(
+    scale: float = 0.3,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    enforce_speedup: bool = True,
+    speedup_target: float = SIMCORE_SPEEDUP_TARGET,
+) -> Dict[str, Any]:
+    """Benchmark the columnar simulator core against the legacy core.
+
+    Args:
+        scale: Workload size multiplier (0.3 for the committed report;
+            smoke runs use a smaller scale).
+        cache_dir: Artifact-cache directory for the cold/warm
+            columnar-build phase (required; the caller owns it).
+        progress: Optional per-phase status callback.
+        enforce_speedup: Include the cold-sweep speed-up in the
+            report's overall ``ok`` flag.  Smoke runs disable this —
+            at tiny scales fixed costs dominate, so only the
+            correctness and cache gates are load-bearing there.
+        speedup_target: Required cold-sweep speed-up when enforced.
+
+    Returns:
+        The benchmark report (the ``BENCH_simcore.json`` payload):
+        per-phase records, the gate results, the top-level
+        ``equal_results`` flag, and ``ok``.
+    """
+    if cache_dir is None:
+        raise ValueError("run_simcore_bench needs an explicit cache_dir")
+    from repro.workloads import workload_names
+
+    names = list(workload_names())
+    columns_cache = _columns_cache_phase(
+        str(cache_dir), scale, names, progress
+    )
+    equal_stats = _equal_stats_phase(scale, names, progress)
+    sweep = _sweep_phase(scale, names, progress)
+    framework.clear_memos()
+
+    equal_results = equal_stats["equal_results"] and sweep["equal_series"]
+    gates = {
+        "equal_results": equal_results,
+        "columns_cache_warm": columns_cache["warm_hit_rate"] == 1.0,
+        "speedup": sweep["speedup"] >= speedup_target,
+    }
+    ok = gates["equal_results"] and gates["columns_cache_warm"]
+    if enforce_speedup:
+        ok = ok and gates["speedup"]
+    return {
+        "kind": "simcore",
+        "scale": scale,
+        "workloads": names,
+        "policies": list(SIMCORE_POLICIES),
+        "predictors": list(SIMCORE_PREDICTORS),
+        "generator_version": generator_version(),
+        "python": platform.python_version(),
+        "columns_cache": columns_cache,
+        "equal_stats": equal_stats,
+        "sweep": sweep,
+        "speedup_target": speedup_target,
+        "speedup_enforced": enforce_speedup,
+        "gates": gates,
+        "equal_results": equal_results,
+        "ok": ok,
+    }
+
+
+def write_simcore_report(
+    report: Dict[str, Any], path: Union[str, Path] = "BENCH_simcore.json"
+) -> Path:
+    """Write a sim-core bench report as pretty JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     return path

@@ -104,6 +104,16 @@ FU_COUNT = {
     FuClass.FP_DIV: 1,
 }
 
+#: Dense ordinal view of the FU classes for the columnar simulator core:
+#: ``FU_CLASSES[i]`` is the class with ordinal ``i``, ``FU_INDEX`` maps a
+#: class back to its ordinal, and ``FU_LIMITS[i]``/``FU_LATENCY_BY_INDEX[i]``
+#: mirror :data:`FU_COUNT`/:data:`FU_LATENCY` as flat tuples so the hot loop
+#: indexes integers instead of hashing enum members.
+FU_CLASSES = tuple(FuClass)
+FU_INDEX = {fu: index for index, fu in enumerate(FU_CLASSES)}
+FU_LIMITS = tuple(FU_COUNT[fu] for fu in FU_CLASSES)
+FU_LATENCY_BY_INDEX = tuple(FU_LATENCY[fu] for fu in FU_CLASSES)
+
 #: Conditional branches (have an outcome recorded in the trace).
 BRANCH_OPS = frozenset(
     {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BEQZ, Opcode.BNEZ}

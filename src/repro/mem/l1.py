@@ -32,7 +32,10 @@ class L1Cache:
         self.hit_latency = hit_latency
         self.miss_latency = miss_latency
         # Per set: list of tags in LRU order (front = most recent).
-        self._sets = [[] for _ in range(self.n_sets)]
+        # Allocated lazily (set index -> ways): simulations construct many
+        # caches and most sets are never touched at trace scale, so eager
+        # per-set lists would dominate construction time.
+        self._sets: dict = {}
         self.accesses = 0
         self.misses = 0
 
@@ -47,8 +50,12 @@ class L1Cache:
         hidden by the store buffer, so callers typically ignore it.
         """
         self.accesses += 1
-        set_index, tag = self._locate(addr)
-        ways = self._sets[set_index]
+        block = addr // self.block_words
+        set_index = block % self.n_sets
+        tag = block // self.n_sets
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._sets[set_index] = []
         if tag in ways:
             ways.remove(tag)
             ways.insert(0, tag)
@@ -61,7 +68,7 @@ class L1Cache:
 
     def contains(self, addr: int) -> bool:
         set_index, tag = self._locate(addr)
-        return tag in self._sets[set_index]
+        return tag in self._sets.get(set_index, ())
 
     @property
     def miss_rate(self) -> float:

@@ -12,6 +12,17 @@ from repro.workloads import build_workload
 TEST_SCALE = 0.2
 
 
+def pytest_addoption(parser):
+    """Escape hatch for the golden-stats fixtures (test_golden_stats.py)."""
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current simulator "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def small_traces():
     """Reduced-scale traces for a representative workload subset."""

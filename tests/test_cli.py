@@ -117,3 +117,39 @@ class TestCommands:
     def test_figure_runs_tiny_scale(self, capsys):
         assert main(["figure", "figure2", "--scale", "0.1"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+    def test_profile_renders_phases_and_hotspots(self, capsys):
+        assert main(["profile", "compress", "--scale", "0.1",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        for phase in ("trace_build", "column_build", "pair_selection",
+                      "simulate", "commit_check"):
+            assert phase in out
+        assert "top functions by cumulative time" in out
+        assert "commit check" in out
+
+    def test_profile_json_payload(self, capsys):
+        import json
+
+        assert main(["profile", "compress", "--scale", "0.1", "--json",
+                     "--no-cprofile"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["sim_core"] == "columnar"
+        assert set(payload["phases"]) == {
+            "trace_build", "column_build", "pair_selection", "simulate",
+            "commit_check",
+        }
+        assert payload["hotspots"] == []  # --no-cprofile
+        assert all(payload["commit_check"].values())
+        assert payload["insts_per_sec"] > 0
+
+    def test_profile_legacy_core(self, capsys):
+        import json
+
+        assert main(["profile", "compress", "--scale", "0.1", "--json",
+                     "--no-cprofile", "--core", "legacy",
+                     "--vp", "perfect"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sim_core"] == "legacy"
+        assert payload["ok"] is True

@@ -1,0 +1,139 @@
+"""Columnar trace view: construction, equivalence, pickling, caching."""
+
+import pickle
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.exec.columns import (
+    F_BRANCH,
+    F_LOAD,
+    F_STORE,
+    F_TAKEN,
+    F_UNCOND,
+    TraceColumns,
+)
+from repro.isa.instructions import FU_CLASSES, Opcode, fu_class, latency_of
+
+
+class TestBuild:
+    def test_length_matches_trace(self, loop_trace):
+        cols = TraceColumns.build(loop_trace)
+        assert len(cols) == len(loop_trace)
+
+    def test_columns_mirror_dyninst_fields(self, loop_trace):
+        cols = TraceColumns.build(loop_trace)
+        reg_deps = loop_trace.register_deps
+        mem_deps = loop_trace.memory_deps
+        for pos, inst in enumerate(loop_trace):
+            assert cols.pc[pos] == inst.pc
+            assert FU_CLASSES[cols.fu[pos]] is fu_class(inst.op)
+            assert cols.lat[pos] == latency_of(inst.op)
+            flags = cols.flags[pos]
+            assert bool(flags & F_BRANCH) == (inst.taken is not None)
+            if inst.taken is not None:
+                assert bool(flags & F_TAKEN) == inst.taken
+            assert bool(flags & F_LOAD) == inst.is_load
+            assert bool(flags & F_STORE) == inst.is_store
+            uncond = inst.taken is None and inst.op in (
+                Opcode.JUMP, Opcode.CALL, Opcode.RET,
+            )
+            assert bool(flags & F_UNCOND) == uncond
+            if inst.addr is None:
+                assert cols.addr[pos] == -1
+            else:
+                assert cols.addr[pos] == inst.addr
+            assert cols.mem_dep[pos] == mem_deps[pos]
+            # dep_pairs keeps only resolved producers, paired with the
+            # register each produced.
+            expected = tuple(
+                (producer, inst.srcs[i])
+                for i, producer in enumerate(reg_deps[pos])
+                if producer >= 0
+            )
+            assert cols.dep_pairs[pos] == expected
+
+    def test_scan_reads_keep_unresolved_producers(self, loop_trace):
+        cols = TraceColumns.build(loop_trace)
+        reg_deps = loop_trace.register_deps
+        for pos, inst in enumerate(loop_trace):
+            expected = tuple(
+                (reg, reg_deps[pos][i])
+                for i, reg in enumerate(inst.srcs)
+                if reg != 0
+            )
+            assert cols.scan_reads[pos] == expected
+
+    def test_dst_columns(self, loop_trace):
+        cols = TraceColumns.build(loop_trace)
+        for pos, inst in enumerate(loop_trace):
+            if inst.dst is not None and inst.dst != 0:
+                assert cols.dst_nz[pos] == inst.dst
+                assert cols.dst_value[pos] == inst.dst_value
+            else:
+                assert cols.dst_nz[pos] == -1
+
+
+class TestTraceIntegration:
+    def test_columns_property_memoizes(self, loop_trace):
+        cols = loop_trace.columns
+        assert loop_trace.columns is cols
+        assert len(cols) == len(loop_trace)
+
+    def test_attach_columns_rejects_length_mismatch(self, loop_trace, serial_trace):
+        other = TraceColumns.build(serial_trace)
+        assert len(other) != len(loop_trace)
+        with pytest.raises(ValueError):
+            loop_trace.attach_columns(other)
+
+    def test_attach_columns_installs_view(self, loop_trace):
+        rebuilt = TraceColumns.build(loop_trace)
+        loop_trace.attach_columns(rebuilt)
+        assert loop_trace.columns is rebuilt
+
+
+class TestSerialization:
+    def test_pickle_round_trip_is_equal(self, loop_trace):
+        cols = loop_trace.columns
+        clone = pickle.loads(pickle.dumps(cols))
+        assert clone == cols
+        assert len(clone) == len(cols)
+
+    def test_equality_detects_divergence(self, loop_trace, serial_trace):
+        assert loop_trace.columns != serial_trace.columns
+
+    def test_columns_cache_kind_round_trip(self, loop_trace, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        built = cache.get_or_create(
+            "columns", lambda: loop_trace.columns, workload="testloop"
+        )
+        assert built == loop_trace.columns
+        # A fresh cache instance must deserialise an equal object.
+        fresh = ArtifactCache(tmp_path / "cache")
+        loaded = fresh.get_or_create(
+            "columns",
+            lambda: pytest.fail("expected a cache hit"),
+            workload="testloop",
+        )
+        assert loaded == loop_trace.columns
+        assert fresh.stats.disk_hits == 1
+
+
+class TestFrameworkCacheWiring:
+    def test_trace_for_attaches_cached_columns(self, tmp_path):
+        from repro.experiments import framework
+
+        cache = ArtifactCache(tmp_path / "cache")
+        with framework.use_cache(cache):
+            trace = framework.trace_for("compress", 0.1)
+            assert trace._columns is not None
+        framework.clear_memos()
+        # Second process-like pass: trace and columns come off disk.
+        fresh = ArtifactCache(tmp_path / "cache")
+        with framework.use_cache(fresh):
+            warm = framework.trace_for("compress", 0.1)
+            assert warm._columns is not None
+        framework.clear_memos()
+        assert fresh.stats.misses == 0
+        assert fresh.stats.hit_rate == 1.0
+        assert warm.columns == trace.columns

@@ -87,5 +87,6 @@ class TestProperties:
         c = _cache()
         for addr in addrs:
             c.access(addr, is_store=bool(addr & 1))
-        for ways in c._sets:
+        # _sets is a lazy set-index -> ways dict (untouched sets absent).
+        for ways in c._sets.values():
             assert len(ways) <= c.assoc

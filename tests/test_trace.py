@@ -85,3 +85,46 @@ class TestRegisterValues:
         positions, values = trace.register_writes[1]
         assert positions == [0, 1]
         assert values == [1, 2]
+
+
+class TestNextOccurrenceEdges:
+    """Boundary behaviour of the bisect-backed occurrence lookup."""
+
+    def test_empty_interval_returns_none(self, loop_trace):
+        pc = loop_trace[10].pc
+        first = loop_trace.positions_of(pc)[0]
+        assert loop_trace.next_occurrence(pc, first, first) is None
+        assert loop_trace.next_occurrence(pc, first, first - 1) is None
+
+    def test_after_equal_to_position_is_excluded(self, loop_trace):
+        pc = loop_trace[10].pc
+        positions = loop_trace.positions_of(pc)
+        last = positions[-1]
+        # The interval is open on the left: `after` itself never matches.
+        assert loop_trace.next_occurrence(pc, last, len(loop_trace)) is None
+
+    def test_after_beyond_trace_returns_none(self, loop_trace):
+        pc = loop_trace[10].pc
+        assert loop_trace.next_occurrence(
+            pc, len(loop_trace) + 5, len(loop_trace) + 50
+        ) is None
+
+    def test_negative_after_finds_first(self, loop_trace):
+        pc = loop_trace[10].pc
+        first = loop_trace.positions_of(pc)[0]
+        assert loop_trace.next_occurrence(pc, -1, len(loop_trace)) == first
+
+    def test_matches_linear_scan(self, loop_trace):
+        # The bisect result agrees with a brute-force scan over a window.
+        pc = loop_trace[10].pc
+        for after in (0, 5, 40, 200):
+            before = after + 60
+            expected = next(
+                (
+                    pos
+                    for pos in range(after + 1, min(before, len(loop_trace)))
+                    if loop_trace[pos].pc == pc
+                ),
+                None,
+            )
+            assert loop_trace.next_occurrence(pc, after, before) == expected
