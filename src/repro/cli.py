@@ -6,7 +6,12 @@ Commands
 ``workloads``
     List the SpecInt95-analogue suite.
 ``trace <workload>``
-    Execute a workload and print dynamic-trace statistics.
+    Execute a workload and print dynamic-trace statistics; with
+    ``--out``/``--smoke``, run a traced simulation instead and export
+    it as Chrome trace-event JSON (viewable in Perfetto).
+``metrics {dump,diff}``
+    Dump one run's metrics (Prometheus text, snapshot JSON, or JSONL)
+    or diff two snapshot files.
 ``disasm <workload>``
     Disassemble a workload's program.
 ``pairs <workload>``
@@ -23,7 +28,7 @@ Commands
     Run a fault-injection campaign and print the degradation report.
 ``exp``
     Reproduce a figure through the parallel engine (``--jobs``,
-    ``--cache-dir``, ``--checkpoint``).
+    ``--cache-dir``, ``--checkpoint``, ``--telemetry``).
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the on-disk artifact cache.
 ``bench``
@@ -120,19 +125,139 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    export = args.out or args.metrics or args.smoke
+    if args.workload is None and not args.smoke:
+        print("trace: a workload is required (or --smoke)", file=sys.stderr)
+        return 2
+    workload = args.workload or "compress"
+    scale = args.scale if args.scale is not None else (
+        0.25 if args.smoke else 1.0
+    )
+    if not export:
+        trace = load_trace(workload, scale, max_steps=args.max_steps)
+        branches = sum(1 for d in trace if d.taken is not None)
+        taken = sum(1 for d in trace if d.taken)
+        loads = sum(1 for d in trace if d.op is Opcode.LOAD)
+        stores = sum(1 for d in trace if d.op is Opcode.STORE)
+        calls = sum(1 for d in trace if d.op is Opcode.CALL)
+        print(f"workload          {workload} (scale {scale})")
+        print(f"dynamic length    {len(trace)}")
+        print(f"static length     {len(trace.program)}")
+        print(f"branches          {branches} "
+              f"({taken / max(branches, 1):.0%} taken)")
+        print(f"loads / stores    {loads} / {stores}")
+        print(f"calls             {calls}")
+        print(f"loop heads        {sorted(trace.program.loop_heads())}")
+        return 0
+    # Export mode: run a fully traced simulation and emit a Chrome
+    # trace-event JSON (plus, optionally, a metrics snapshot).
+    import json
+
+    from repro.obs import (
+        EventTracer,
+        MetricsRegistry,
+        TimelineModel,
+        events_metrics,
+        sim_metrics,
+        validate_chrome_trace,
+    )
+
+    out_path = args.out or ("trace.json" if args.smoke else None)
+    metrics_path = args.metrics or ("metrics.json" if args.smoke else None)
+    trace = load_trace(workload, scale, max_steps=args.max_steps)
+    pairs = _build_pairs(trace, args)
+    config = ProcessorConfig(
+        num_thread_units=args.tus,
+        value_predictor=args.vp,
+        collect_timeline=True,
+    )
+    tracer = EventTracer()
+    stats = simulate(trace, pairs, config, tracer=tracer)
+    labels = {"workload": workload, "policy": args.policy, "vp": args.vp}
+    model = TimelineModel.from_stats(
+        stats, args.tus, events=tracer.events,
+        meta={**labels, "scale": scale, "tus": args.tus},
+    )
+    chrome = model.chrome_trace()
+    problems = validate_chrome_trace(chrome)
+    if problems:
+        for problem in problems:
+            print(f"trace: schema error: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"{workload}: {stats.cycles} cycles, {stats.threads_committed} "
+        f"threads, {len(tracer)} events "
+        f"({len(chrome['traceEvents'])} trace entries, schema OK)"
+    )
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(chrome, handle, sort_keys=True)
+        print(f"wrote Chrome trace to {out_path} (open in ui.perfetto.dev)")
+    if metrics_path:
+        registry = MetricsRegistry()
+        sim_metrics(stats, registry, **labels)
+        events_metrics(tracer.events, registry, **labels)
+        with open(metrics_path, "w") as handle:
+            json.dump(registry.snapshot().to_dict(), handle,
+                      indent=1, sort_keys=True)
+        print(f"wrote metrics snapshot to {metrics_path}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs import (
+        EventTracer,
+        MetricsRegistry,
+        MetricsSnapshot,
+        events_metrics,
+        sim_metrics,
+    )
+
+    if args.metrics_cmd == "diff":
+        with open(args.before) as handle:
+            before = MetricsSnapshot.from_dict(json.load(handle))
+        with open(args.after) as handle:
+            after = MetricsSnapshot.from_dict(json.load(handle))
+        changes = before.diff(after)
+        for change in changes:
+            delta = change.get("delta")
+            suffix = f"  ({delta:+g})" if delta is not None else ""
+            print(
+                f"{change['key']}: {change['before']} -> "
+                f"{change['after']}{suffix}"
+            )
+        print(f"{len(changes)} sample(s) changed")
+        return 1 if changes else 0
+    # dump: run one traced simulation and emit its metrics.
     trace = _trace_of(args)
-    branches = sum(1 for d in trace if d.taken is not None)
-    taken = sum(1 for d in trace if d.taken)
-    loads = sum(1 for d in trace if d.op is Opcode.LOAD)
-    stores = sum(1 for d in trace if d.op is Opcode.STORE)
-    calls = sum(1 for d in trace if d.op is Opcode.CALL)
-    print(f"workload          {args.workload} (scale {args.scale})")
-    print(f"dynamic length    {len(trace)}")
-    print(f"static length     {len(trace.program)}")
-    print(f"branches          {branches} ({taken / max(branches, 1):.0%} taken)")
-    print(f"loads / stores    {loads} / {stores}")
-    print(f"calls             {calls}")
-    print(f"loop heads        {sorted(trace.program.loop_heads())}")
+    pairs = _build_pairs(trace, args)
+    config = ProcessorConfig(
+        num_thread_units=args.tus, value_predictor=args.vp
+    )
+    tracer = EventTracer()
+    stats = simulate(trace, pairs, config, tracer=tracer)
+    registry = MetricsRegistry()
+    labels = {
+        "workload": args.workload, "policy": args.policy, "vp": args.vp
+    }
+    sim_metrics(stats, registry, **labels)
+    events_metrics(tracer.events, registry, **labels)
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    elif args.format == "jsonl":
+        text = registry.to_jsonl() + "\n"
+    else:
+        text = json.dumps(
+            registry.snapshot().to_dict(), indent=1, sort_keys=True
+        ) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics ({args.format}) to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -293,6 +418,7 @@ def cmd_faults(args) -> int:
         else None,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        telemetry_dir=args.telemetry,
     )
     print(result.render())
     if args.report:
@@ -343,6 +469,7 @@ def cmd_exp(args) -> int:
         cache_dir=args.cache_dir,
         timeout=args.timeout,
         retries=args.retries,
+        telemetry_dir=args.telemetry,
     )
     checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
     progress = None
@@ -496,8 +623,52 @@ def make_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list the benchmark suite")
 
-    p = sub.add_parser("trace", help="dynamic-trace statistics")
-    _add_workload_arg(p)
+    p = sub.add_parser(
+        "trace",
+        help="dynamic-trace statistics, or a traced simulation exported "
+        "as Chrome trace-event JSON (--out/--smoke)",
+    )
+    p.add_argument("workload", nargs="?", choices=workload_names(),
+                   help="workload (optional with --smoke)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload size multiplier (default 1.0; "
+                   "0.25 with --smoke)")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="functional-execution step budget (a workload "
+                   "that does not halt within it fails fast)")
+    _add_policy_args(p)
+    p.add_argument("--tus", type=int, default=8, help="thread units")
+    p.add_argument("--vp", default="stride",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the traced run as Chrome trace-event JSON "
+                   "(viewable in ui.perfetto.dev)")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="also write the run's metrics snapshot JSON")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: small traced run (compress by default), "
+                   "schema-validated, writing trace.json + metrics.json")
+
+    p = sub.add_parser(
+        "metrics",
+        help="metrics registry: dump one run or diff two snapshots",
+    )
+    msub = p.add_subparsers(dest="metrics_cmd", required=True)
+    d = msub.add_parser("dump", help="simulate one point and emit metrics")
+    _add_workload_arg(d)
+    _add_policy_args(d)
+    d.add_argument("--tus", type=int, default=16, help="thread units")
+    d.add_argument("--vp", default="stride",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    d.add_argument("--format", choices=("prom", "json", "jsonl"),
+                   default="prom",
+                   help="Prometheus text, snapshot JSON, or JSON Lines")
+    d.add_argument("--out", default=None, metavar="FILE",
+                   help="write instead of printing")
+    f = msub.add_parser("diff", help="diff two snapshot JSON files")
+    f.add_argument("before", help="snapshot JSON (e.g. from 'metrics "
+                   "dump --format json')")
+    f.add_argument("after", help="snapshot JSON to compare against")
 
     p = sub.add_parser("disasm", help="disassemble a workload")
     _add_workload_arg(p)
@@ -586,6 +757,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="parallel worker processes (default 1 = serial)")
     p.add_argument("--cache-dir", default=None,
                    help="artifact-cache directory shared by the workers")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write per-run provenance manifests (config "
+                   "digest, fault seed, wall time) plus a campaign "
+                   "rollup into DIR")
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
@@ -609,6 +784,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-point wall-clock limit in seconds")
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget per point")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write per-point provenance manifests (config "
+                   "digest, seed, cache delta, wall time) plus a sweep "
+                   "rollup into DIR")
     p.add_argument("--verbose", action="store_true",
                    help="print per-point progress to stderr")
 
@@ -671,6 +850,7 @@ def make_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "workloads": cmd_workloads,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "disasm": cmd_disasm,
     "pairs": cmd_pairs,
     "simulate": cmd_simulate,

@@ -1,10 +1,16 @@
-"""ASCII Gantt rendering of a simulation's thread timeline."""
+"""ASCII Gantt rendering of a simulation's thread timeline.
+
+The renderer is one projection of :class:`repro.obs.timeline.TimelineModel`
+(the Chrome trace-event exporter is the other), so the terminal view and
+the Perfetto view always agree on lifetimes and commit waits.
+"""
 
 from __future__ import annotations
 
 from typing import List
 
 from repro.cmt.stats import SimulationStats
+from repro.obs.timeline import TimelineModel
 
 
 def render_gantt(
@@ -15,21 +21,27 @@ def render_gantt(
     ``=`` marks cycles a thread executed on the unit; ``.`` marks cycles
     it had finished but was still waiting for its in-order commit slot —
     the imbalance the paper's removal policies target.
+
+    Raises:
+        ValueError: when ``stats.timeline`` is empty (the run was not
+            simulated with ``collect_timeline=True``).
     """
-    if not stats.timeline:
-        raise ValueError(
-            "no timeline collected; simulate with collect_timeline=True"
-        )
-    total = max(rec.commit_cycle for rec in stats.timeline) or 1
+    model = TimelineModel.from_stats(stats, num_thread_units)
+    return render_model(model, width=width)
+
+
+def render_model(model: TimelineModel, width: int = 100) -> str:
+    """Render a :class:`TimelineModel` as the ASCII Gantt view."""
+    total = model.total_cycles
     per_cell = max(1, total // width)
     lanes: List[List[str]] = [
-        [" "] * (width + 1) for _ in range(num_thread_units)
+        [" "] * (width + 1) for _ in range(model.num_tus)
     ]
-    for rec in stats.timeline:
-        lane = lanes[rec.tu]
-        exec_start = rec.start_cycle // per_cell
-        exec_end = max(rec.finish_cycle // per_cell, exec_start)
-        wait_end = max(rec.commit_cycle // per_cell, exec_end)
+    for lifetime in model.lifetimes:
+        lane = lanes[lifetime.tu]
+        exec_start = lifetime.start // per_cell
+        exec_end = max(lifetime.finish // per_cell, exec_start)
+        wait_end = max(lifetime.commit // per_cell, exec_end)
         for x in range(exec_start, min(exec_end + 1, width + 1)):
             lane[x] = "="
         for x in range(exec_end + 1, min(wait_end + 1, width + 1)):
@@ -39,9 +51,9 @@ def render_gantt(
         f"({per_cell} cycles per character; '=' executing, "
         f"'.' waiting to commit)"
     ]
-    for tu in range(num_thread_units):
+    for tu in range(model.num_tus):
         lines.append(f"TU{tu:02d} |{''.join(lanes[tu])}|")
-    waits = [rec.commit_cycle - rec.finish_cycle for rec in stats.timeline]
+    waits = model.commit_waits()
     lines.append(
         f"mean commit wait {sum(waits) / len(waits):.1f} cycles, "
         f"max {max(waits)}"

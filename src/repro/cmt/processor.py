@@ -50,6 +50,22 @@ from repro.exec.columns import (
 )
 from repro.exec.trace import Trace
 from repro.isa.instructions import FU_LIMITS, FuClass, Opcode, fu_class, latency_of
+from repro.obs.events import (
+    EV_LIVEIN_CORRUPT,
+    EV_PREDICT_HIT,
+    EV_PREDICT_MISS,
+    EV_PREDICT_SYNC,
+    EV_SPAWN_DROP,
+    EV_SPAWN_GHOST,
+    EV_SPAWN_RETRY,
+    EV_THREAD_COMMIT,
+    EV_THREAD_RESTART,
+    EV_THREAD_SPAWN,
+    EV_THREAD_SQUASH,
+    EV_THREAD_START,
+    EV_TU_BLACKOUT,
+    NULL_TRACER,
+)
 from repro.predictors.value import PerfectPredictor, make_value_predictor
 from repro.spawning.pairs import SpawnPair, SpawnPairSet
 
@@ -132,18 +148,25 @@ class ClusteredProcessor:
         pairs: Optional[SpawnPairSet] = None,
         config: Optional[ProcessorConfig] = None,
         injector: Optional["FaultInjector"] = None,
+        tracer=None,
     ):
         self.trace = trace
         self.config = config or ProcessorConfig()
         self.pairs = pairs if pairs is not None else SpawnPairSet([])
-        self.runtime = SpawnRuntime(self.pairs, self.config)
+        # Null-object tracing: every emission site guards on
+        # ``tracer.enabled`` so the disabled path stays bit-identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.runtime = SpawnRuntime(self.pairs, self.config, tracer=self.tracer)
         self.value_predictor = make_value_predictor(
             self.config.value_predictor, self.config.value_predictor_kb
         )
         self.stats = SimulationStats()
         self.injector = injector
         self._tus = [ThreadUnit(i, self.config) for i in range(self.config.num_thread_units)]
+        for tu in self._tus:
+            tu.tracer = self.tracer
         if injector is not None:
+            injector.tracer = self.tracer
             for tu in self._tus:
                 tu.set_fault_windows(injector.blackout_windows(tu.tu_id))
         self._completion: List[Optional[int]] = [None] * len(trace)
@@ -199,6 +222,10 @@ class ClusteredProcessor:
         self._order.append(root)
         self._running += 1
         self._push(root)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_THREAD_START, 0, tu=0, thread=root.seq, root=True
+            )
 
         budget = self.config.cycle_budget
         stall_limit = self.config.livelock_threshold
@@ -293,6 +320,7 @@ class ClusteredProcessor:
         config = self.config
         trace = self.trace
         completion = self._completion
+        trace_on = self.tracer.enabled
         cycle = thread.fetch_cycle
         if self.injector is not None:
             dark_until = thread.tu.dark_until(cycle)
@@ -398,10 +426,24 @@ class ClusteredProcessor:
 
             # Execution latency and resources.
             if op is Opcode.LOAD:
-                latency = 1 + thread.tu.l1.access(inst.addr)
+                if trace_on:
+                    l1 = thread.tu.l1
+                    miss_before = l1.misses
+                    latency = 1 + l1.access(inst.addr)
+                    if l1.misses != miss_before:
+                        thread.tu.note_install(cycle, thread.seq, inst.addr, False)
+                else:
+                    latency = 1 + thread.tu.l1.access(inst.addr)
                 fu = FuClass.LDST
             elif op is Opcode.STORE:
-                thread.tu.l1.access(inst.addr, is_store=True)
+                if trace_on:
+                    l1 = thread.tu.l1
+                    miss_before = l1.misses
+                    l1.access(inst.addr, is_store=True)
+                    if l1.misses != miss_before:
+                        thread.tu.note_install(cycle, thread.seq, inst.addr, True)
+                else:
+                    thread.tu.l1.access(inst.addr, is_store=True)
                 latency = 1
                 fu = FuClass.LDST
             else:
@@ -503,6 +545,11 @@ class ClusteredProcessor:
         dep_pairs_col = cols.dep_pairs
         spawn_pcs = self._spawn_pcs
         l1_access = tu.l1.access
+        trace_on = self.tracer.enabled
+        if trace_on:
+            l1 = tu.l1
+            note_install = tu.note_install
+            thread_seq = thread.seq
         gshare_update = tu.gshare.update
         fu_limits = FU_LIMITS
         ring_window = RING_WINDOW
@@ -591,10 +638,22 @@ class ClusteredProcessor:
 
             # Execution latency and resources.
             if flags & F_LOAD:
-                latency = 1 + l1_access(addr_col[pos])
+                if trace_on:
+                    miss_before = l1.misses
+                    latency = 1 + l1_access(addr_col[pos])
+                    if l1.misses != miss_before:
+                        note_install(cycle, thread_seq, addr_col[pos], False)
+                else:
+                    latency = 1 + l1_access(addr_col[pos])
                 fu = LDST_INDEX
             elif flags & F_STORE:
-                l1_access(addr_col[pos], True)
+                if trace_on:
+                    miss_before = l1.misses
+                    l1_access(addr_col[pos], True)
+                    if l1.misses != miss_before:
+                        note_install(cycle, thread_seq, addr_col[pos], True)
+                else:
+                    l1_access(addr_col[pos], True)
                 latency = 1
                 fu = LDST_INDEX
             else:
@@ -688,6 +747,14 @@ class ClusteredProcessor:
         """
         self.stats.faults_injected += 1
         self.stats.tu_blackouts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_TU_BLACKOUT,
+                cycle,
+                tu=thread.tu.tu_id,
+                thread=thread.seq,
+                dark_until=dark_until,
+            )
         index = self._order.index(thread)
         if thread.pair is not None and index > 0:
             target = self._free_tu(cycle)
@@ -712,10 +779,22 @@ class ClusteredProcessor:
         """
         self.stats.threads_degraded += 1
         self.stats.fault_cycles_lost += max(cycle - thread.start_cycle, 0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_THREAD_SQUASH,
+                cycle,
+                tu=thread.tu.tu_id,
+                thread=thread.seq,
+                mode="restart",
+            )
         thread.tu.free_at = dark_until
         thread.tu = target
         target.free_at = _INFINITY
         restart = cycle + self.config.fault_restart_penalty
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_THREAD_RESTART, restart, tu=target.tu_id, thread=thread.seq
+            )
         thread.cursor = thread.start
         thread.local_index = 0
         if not self._use_columns:
@@ -748,6 +827,15 @@ class ClusteredProcessor:
         thread.ghost_tus = []
         self.stats.threads_degraded += 1
         self.stats.fault_cycles_lost += max(cycle - thread.start_cycle, 0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_THREAD_SQUASH,
+                cycle,
+                tu=thread.tu.tu_id,
+                thread=thread.seq,
+                mode="fold",
+                pred=pred.seq,
+            )
         if pred.finished:
             pred.finished = False
             self._running += 1
@@ -832,11 +920,20 @@ class ClusteredProcessor:
         # interconnect; the spawn logic retries with bounded backoff.
         spawn_cycle = cycle
         if self._injector_drops_spawns():
-            granted, _retries, delay = self.runtime.request_spawn(
+            granted, retries, delay = self.runtime.request_spawn(
                 self.injector, sp_pc, parent.seq, pos
             )
             spawn_cycle = cycle + delay
             self.stats.fault_cycles_lost += delay
+            if self.tracer.enabled and (retries or not granted):
+                self.tracer.emit(
+                    EV_SPAWN_RETRY if granted else EV_SPAWN_DROP,
+                    cycle,
+                    thread=parent.seq,
+                    sp_pc=sp_pc,
+                    retries=retries,
+                    delay=delay,
+                )
             if not granted:
                 # The request is abandoned; the backoff cycles still
                 # occupied the parent's front-end.
@@ -868,6 +965,14 @@ class ClusteredProcessor:
             tu.free_at = _INFINITY
             parent.ghost_tus.append(tu)
             self.stats.control_misspeculations += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EV_SPAWN_GHOST,
+                    cycle,
+                    tu=tu.tu_id,
+                    thread=parent.seq,
+                    sp_pc=sp_pc,
+                )
             return config.spawn_cost + (spawn_cycle - cycle)
 
         start_cycle = (
@@ -886,6 +991,20 @@ class ClusteredProcessor:
         self._running += 1
         self._push(child)
         self.stats.spawns += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_THREAD_SPAWN,
+                cycle,
+                tu=tu.tu_id,
+                thread=child.seq,
+                parent=parent.seq,
+                sp_pc=sp_pc,
+                cqip_pc=chosen.cqip_pc,
+                start_pos=occurrence,
+            )
+            self.tracer.emit(
+                EV_THREAD_START, start_cycle, tu=tu.tu_id, thread=child.seq
+            )
         self._predict_liveins_impl(child, chosen, spawn_pos=pos)
         return self.config.spawn_cost + (spawn_cycle - cycle)
 
@@ -920,6 +1039,12 @@ class ClusteredProcessor:
         injector = self.injector
         perfect = isinstance(vp, PerfectPredictor)
         predict_nothing = self.config.value_predictor == "none"
+        trace_on = self.tracer.enabled
+        if trace_on:
+            t_emit = self.tracer.emit
+            t_cycle = int(child.start_cycle)
+            t_tu = child.tu.tu_id
+            t_seq = child.seq
         # The predictor was last trained at the most recent commit of this
         # pair; in-flight instances (including the new one) determine how
         # far the recurrence must be projected forward.
@@ -951,6 +1076,11 @@ class ClusteredProcessor:
                     child.livein_status[reg] = _HIT
                     if not perfect and not predict_nothing:
                         vp.record(True)
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="copy",
+                        )
                     continue
                 actual = trace[producer].dst_value if producer >= 0 else 0
                 base = trace.value_of_register_at(reg, spawn_pos)
@@ -958,8 +1088,18 @@ class ClusteredProcessor:
                 if perfect:
                     child.livein_status[reg] = _HIT
                     vp.record(True)
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="predicted",
+                        )
                 elif predict_nothing:
                     child.livein_status[reg] = _SYNC
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_SYNC, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg,
+                        )
                 else:
                     predicted = vp.predict(
                         pair.sp_pc, pair.cqip_pc, reg, base, lookahead
@@ -967,6 +1107,12 @@ class ClusteredProcessor:
                     hit = predicted is not None and predicted == actual
                     vp.record(hit)
                     child.livein_status[reg] = _HIT if hit else _MISS
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT if hit else EV_PREDICT_MISS,
+                            t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="predicted",
+                        )
                 if (
                     injector is not None
                     and child.livein_status[reg] == _HIT
@@ -978,6 +1124,11 @@ class ClusteredProcessor:
                     child.livein_status[reg] = _MISS
                     self.stats.liveins_corrupted += 1
                     self.stats.faults_injected += 1
+                    if trace_on:
+                        t_emit(
+                            EV_LIVEIN_CORRUPT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg,
+                        )
             if inst.dst is not None and inst.dst != 0:
                 written.add(inst.dst)
 
@@ -996,6 +1147,12 @@ class ClusteredProcessor:
         injector = self.injector
         perfect = isinstance(vp, PerfectPredictor)
         predict_nothing = self.config.value_predictor == "none"
+        trace_on = self.tracer.enabled
+        if trace_on:
+            t_emit = self.tracer.emit
+            t_cycle = int(child.start_cycle)
+            t_tu = child.tu.tu_id
+            t_seq = child.seq
         start = child.start
         end = min(child.join, start + self.config.livein_scan_cap)
         status = child.livein_status
@@ -1024,6 +1181,16 @@ class ClusteredProcessor:
                         # Pre-spawn producers are free register-file
                         # copies — the oracle only counts in-window ones.
                         hits += 1
+                        if trace_on:
+                            t_emit(
+                                EV_PREDICT_HIT, t_cycle, tu=t_tu,
+                                thread=t_seq, reg=reg, source="predicted",
+                            )
+                    elif trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="copy",
+                        )
                 if dst >= 0:
                     done_add(dst)
             vp.predictions += hits
@@ -1039,7 +1206,20 @@ class ClusteredProcessor:
                     if reg in done or producer >= start:
                         continue
                     done_add(reg)
-                    status[reg] = _HIT if producer < spawn_pos else _SYNC
+                    if producer < spawn_pos:
+                        status[reg] = _HIT
+                        if trace_on:
+                            t_emit(
+                                EV_PREDICT_HIT, t_cycle, tu=t_tu,
+                                thread=t_seq, reg=reg, source="copy",
+                            )
+                    else:
+                        status[reg] = _SYNC
+                        if trace_on:
+                            t_emit(
+                                EV_PREDICT_SYNC, t_cycle, tu=t_tu,
+                                thread=t_seq, reg=reg,
+                            )
                 if dst >= 0:
                     done_add(dst)
             return
@@ -1075,6 +1255,11 @@ class ClusteredProcessor:
                     status[reg] = _HIT
                     if table_vp:
                         record(True)
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="copy",
+                        )
                     continue
                 # Here spawn_pos <= producer < start, so the producer is a
                 # recorded position (>= 0) between SP and CQIP.  The
@@ -1085,8 +1270,18 @@ class ClusteredProcessor:
                 if perfect:
                     status[reg] = _HIT
                     record(True)
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="predicted",
+                        )
                 elif predict_nothing:
                     status[reg] = _SYNC
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_SYNC, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg,
+                        )
                 else:
                     actual = dst_values[producer]
                     base = value_at(reg, spawn_pos)
@@ -1097,6 +1292,12 @@ class ClusteredProcessor:
                     hit = predicted is not None and predicted == actual
                     record(hit)
                     status[reg] = _HIT if hit else _MISS
+                    if trace_on:
+                        t_emit(
+                            EV_PREDICT_HIT if hit else EV_PREDICT_MISS,
+                            t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg, source="predicted",
+                        )
                 if (
                     injector is not None
                     and status[reg] == _HIT
@@ -1105,6 +1306,11 @@ class ClusteredProcessor:
                     status[reg] = _MISS
                     self.stats.liveins_corrupted += 1
                     self.stats.faults_injected += 1
+                    if trace_on:
+                        t_emit(
+                            EV_LIVEIN_CORRUPT, t_cycle, tu=t_tu, thread=t_seq,
+                            reg=reg,
+                        )
             if dst >= 0:
                 done_add(dst)
 
@@ -1236,6 +1442,14 @@ class ClusteredProcessor:
             self.stats.busy_cycles += max(
                 oldest.finish_cycle - oldest.start_cycle, 0
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EV_THREAD_COMMIT,
+                    int(commit_cycle),
+                    tu=oldest.tu.tu_id,
+                    thread=oldest.seq,
+                    size=oldest.executed,
+                )
             if oldest.pair is not None:
                 vp = self.value_predictor
                 for reg, (base, actual) in oldest.livein_actuals.items():
@@ -1274,9 +1488,15 @@ def simulate(
     pairs: Optional[SpawnPairSet] = None,
     config: Optional[ProcessorConfig] = None,
     injector: Optional["FaultInjector"] = None,
+    tracer=None,
 ) -> SimulationStats:
-    """Run one simulation (convenience wrapper)."""
-    return ClusteredProcessor(trace, pairs, config, injector).run()
+    """Run one simulation (convenience wrapper).
+
+    Pass an :class:`~repro.obs.events.EventTracer` as ``tracer`` to
+    record the structured event stream; ``None`` (the default) keeps the
+    zero-cost disabled path.
+    """
+    return ClusteredProcessor(trace, pairs, config, injector, tracer).run()
 
 
 def single_thread_cycles(

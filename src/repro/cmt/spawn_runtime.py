@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.cmt.config import ProcessorConfig
+from repro.obs.events import EV_PAIR_REMOVE, EV_PAIR_REVIVE, NULL_TRACER
 from repro.spawning.pairs import SpawnPair, SpawnPairSet
 
 PairKey = Tuple[int, int]
@@ -20,8 +21,11 @@ PairKey = Tuple[int, int]
 class SpawnRuntime:
     """Tracks which pairs are live and applies the removal policies."""
 
-    def __init__(self, pair_set: SpawnPairSet, config: ProcessorConfig):
+    def __init__(
+        self, pair_set: SpawnPairSet, config: ProcessorConfig, tracer=None
+    ):
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._alternatives: Dict[int, List[SpawnPair]] = {
             sp_pc: list(pair_set.alternatives(sp_pc))
             for sp_pc in pair_set.spawning_points()
@@ -66,6 +70,10 @@ class SpawnRuntime:
             del self._removed[key]
             self._alone_occurrences.pop(key, None)
             self.revived += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EV_PAIR_REVIVE, cycle, sp_pc=key[0], cqip_pc=key[1]
+                )
             return False
         return True
 
@@ -133,6 +141,14 @@ class SpawnRuntime:
         if count >= self.config.removal_occurrences:
             self._removed[key] = cycle
             self.removed_alone += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EV_PAIR_REMOVE,
+                    cycle,
+                    sp_pc=key[0],
+                    cqip_pc=key[1],
+                    reason="alone",
+                )
             return True
         return False
 
@@ -147,6 +163,14 @@ class SpawnRuntime:
             return False
         self._removed[key] = cycle
         self.removed_min_size += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EV_PAIR_REMOVE,
+                cycle,
+                sp_pc=key[0],
+                cqip_pc=key[1],
+                reason="min_size",
+            )
         return True
 
     def live_pair_count(self, cycle: int = 0) -> int:

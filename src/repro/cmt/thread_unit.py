@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cmt.config import ProcessorConfig
 from repro.isa.instructions import FU_CLASSES, FU_COUNT, FU_INDEX, FU_LIMITS, FuClass
+from repro.obs.events import EV_CACHE_INSTALL, NULL_TRACER
 from repro.predictors.branch import make_branch_predictor
 from repro.mem.l1 import L1Cache
 
@@ -81,6 +82,27 @@ class ThreadUnit:
         #: sorted (start, end) cycle windows during which the unit is dark
         #: (fault injection); empty in a healthy simulation.
         self.fault_windows: List[Tuple[int, int]] = []
+        #: Structured-event sink (the processor installs its tracer; the
+        #: null tracer makes :meth:`note_install` a no-op).
+        self.tracer = NULL_TRACER
+
+    def note_install(
+        self, cycle: int, thread: int, addr: int, is_store: bool
+    ) -> None:
+        """Record an L1 miss installing a line as a ``cache.install`` event.
+
+        Called by the timing cores only when tracing is enabled (they
+        detect the install via the cache's miss counter), so the disabled
+        path never reaches here.
+        """
+        self.tracer.emit(
+            EV_CACHE_INSTALL,
+            cycle,
+            tu=self.tu_id,
+            thread=thread,
+            addr=addr,
+            store=is_store,
+        )
 
     def set_fault_windows(self, windows: List[Tuple[int, int]]) -> None:
         """Install the unit's blackout schedule (sorted, non-overlapping)."""

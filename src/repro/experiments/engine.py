@@ -18,6 +18,7 @@ resume: completed point keys are skipped on restart.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -195,6 +196,10 @@ class ParallelEngine:
         timeout: Per-point wall-clock limit in seconds (None = unbounded).
         retries: Retry budget per point.
         backoff: Base of the exponential retry backoff in seconds.
+        telemetry_dir: When set, :meth:`run` writes one
+            :class:`~repro.obs.manifest.RunManifest` per point (config
+            digest, seed, per-point cache delta, attempts, wall time)
+            plus a sweep-level rollup into this directory.
 
     After :meth:`run`, ``cache_events`` holds aggregated cache counters
     (parent plus every worker) for the executed points.
@@ -207,6 +212,7 @@ class ParallelEngine:
         timeout: Optional[float] = None,
         retries: int = 2,
         backoff: float = 0.05,
+        telemetry_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
@@ -216,12 +222,18 @@ class ParallelEngine:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.telemetry_dir = (
+            os.fspath(telemetry_dir) if telemetry_dir else None
+        )
         self.cache_events: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
             "misses": 0,
             "puts": 0,
         }
+        #: point key -> cache-counter delta of that point's execution
+        #: (only points actually run this sweep; resumed points absent).
+        self._point_deltas: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
 
@@ -256,13 +268,35 @@ class ParallelEngine:
         keys = [p.key for p in points]
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate point keys in sweep")
+        started = time.perf_counter()
         if self.jobs == 1:
-            return self._run_serial(points, checkpoint, progress)
-        return self._run_parallel(points, checkpoint, progress)
+            results = self._run_serial(points, checkpoint, progress)
+        else:
+            results = self._run_parallel(points, checkpoint, progress)
+        if self.telemetry_dir is not None:
+            self._write_telemetry(
+                points, results, time.perf_counter() - started
+            )
+        return results
+
+    def _execute_tracked(self, point: Point) -> Any:
+        """Serial-path task body: run the point, recording its cache delta."""
+        cache = self.cache
+        if cache is None:
+            return execute_point(point, None)
+        before = cache.stats.to_dict()
+        try:
+            return execute_point(point, cache)
+        finally:
+            after = cache.stats.to_dict()
+            self._point_deltas[point.key] = {
+                k: after[k] - before[k]
+                for k in ("memory_hits", "disk_hits", "misses", "puts")
+            }
 
     def _run_serial(self, points, checkpoint, progress):
         tasks = {
-            p.key: (lambda p=p: execute_point(p, self.cache)) for p in points
+            p.key: (lambda p=p: self._execute_tracked(p)) for p in points
         }
         before = self.cache.stats.to_dict() if self.cache else None
         previous = framework.set_cache(self.cache)
@@ -315,11 +349,83 @@ class ParallelEngine:
                     outcome = ResilientOutcome.from_dict(outcome_dict)
                     results[key] = outcome
                     self._note_cache_delta(delta)
+                    if delta:
+                        self._point_deltas[key] = delta
                     if checkpoint is not None:
                         checkpoint.record(key, outcome)
                     if progress is not None:
                         progress(key, outcome, False)
         return {point.key: results[point.key] for point in points}
+
+    # ------------------------------------------------------------------
+    # Telemetry manifests.
+    # ------------------------------------------------------------------
+
+    def _write_telemetry(
+        self,
+        points: Sequence[Point],
+        results: Dict[str, ResilientOutcome],
+        seconds: float,
+    ) -> None:
+        """Write one per-point manifest plus the sweep rollup."""
+        from repro.obs.manifest import RunManifest, write_sweep_manifest
+
+        for point in points:
+            outcome = results.get(point.key)
+            if outcome is None:
+                continue
+            seed, fault_plan = _point_provenance(point)
+            RunManifest(
+                name=point.key,
+                config={"runner": point.runner, **point.params},
+                seed=seed,
+                seconds=outcome.seconds,
+                attempts=outcome.attempts,
+                ok=outcome.ok,
+                cache=self._point_deltas.get(point.key, {}),
+                fault_plan=fault_plan,
+            ).write(self.telemetry_dir)
+        write_sweep_manifest(
+            self.telemetry_dir,
+            name="sweep",
+            points=len(points),
+            config={
+                "jobs": self.jobs,
+                "timeout": self.timeout,
+                "retries": self.retries,
+                "cache_dir": self.cache_dir,
+            },
+            seconds=seconds,
+            cache=dict(self.cache_events),
+            extra={
+                "ok": sum(1 for o in results.values() if o.ok),
+                "failed": sum(1 for o in results.values() if not o.ok),
+            },
+        )
+
+
+def _point_provenance(point: Point):
+    """Return the (seed, fault_plan) a point's manifest should record.
+
+    Campaign points carry their spec fields; the per-workload fault seed
+    is re-derived exactly as the campaign runner derives it, so the
+    manifest pins the randomness that actually fired.
+    """
+    params = point.params
+    seed = params.get("seed")
+    fault_plan = None
+    spec_fields = params.get("spec_fields")
+    if isinstance(spec_fields, dict):
+        from repro.faults.campaign import workload_seed
+
+        campaign_seed = int(spec_fields.get("seed", 0))
+        seed = campaign_seed
+        if "workload" in params and "rate" in params:
+            fault_plan = {
+                "rate": params["rate"],
+                "seed": workload_seed(campaign_seed, str(params["workload"])),
+            }
+    return seed, fault_plan
 
 
 # ----------------------------------------------------------------------

@@ -433,6 +433,9 @@ class ResilientOutcome:
     attempts: int = 0
     error: Optional[str] = None
     error_type: Optional[str] = None
+    #: Wall-clock seconds spent across every attempt (telemetry; 0.0 in
+    #: checkpoints written before the field existed).
+    seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """Return the JSON view of the outcome (see :meth:`from_dict`)."""
@@ -442,6 +445,7 @@ class ResilientOutcome:
             "attempts": self.attempts,
             "error": self.error,
             "error_type": self.error_type,
+            "seconds": self.seconds,
         }
 
     @classmethod
@@ -453,6 +457,7 @@ class ResilientOutcome:
             attempts=int(data.get("attempts", 0)),
             error=data.get("error"),
             error_type=data.get("error_type"),
+            seconds=float(data.get("seconds", 0.0)),
         )
 
 
@@ -475,11 +480,17 @@ def run_resilient(
         failure's type and message.
     """
     last: Optional[BaseException] = None
+    started = time.perf_counter()
     for attempt in range(retries + 1):
         try:
             with _wall_clock_limit(timeout):
                 value = task()
-            return ResilientOutcome(ok=True, value=value, attempts=attempt + 1)
+            return ResilientOutcome(
+                ok=True,
+                value=value,
+                attempts=attempt + 1,
+                seconds=time.perf_counter() - started,
+            )
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
@@ -491,6 +502,7 @@ def run_resilient(
         attempts=retries + 1,
         error=str(last),
         error_type=type(last).__name__,
+        seconds=time.perf_counter() - started,
     )
 
 

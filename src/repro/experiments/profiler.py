@@ -23,6 +23,12 @@ from repro.workloads import load_trace
 PHASES = ("trace_build", "column_build", "pair_selection", "simulate",
           "commit_check")
 
+#: Version of the ``repro profile --json`` report shape.  Bump on any
+#: breaking change to :meth:`ProfileReport.to_dict`; consumers (the
+#: sim-core benchmark, external tooling reading CI artifacts) key their
+#: parsing on it.
+PROFILE_SCHEMA_VERSION = 1
+
 
 @dataclass
 class ProfileReport:
@@ -57,6 +63,7 @@ class ProfileReport:
             and the ``--json`` flag of ``repro profile``).
         """
         return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
             "workload": self.workload,
             "scale": self.scale,
             "policy": self.policy,

@@ -15,6 +15,7 @@ campaign CI-friendly, like ``repro lint``:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -269,6 +270,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Execute a campaign, resuming completed runs from ``checkpoint``.
 
@@ -285,6 +287,10 @@ def run_campaign(
             :class:`~repro.experiments.engine.ParallelEngine`.
         cache_dir: Optional artifact-cache directory shared by the
             reference computation and every worker.
+        telemetry_dir: When set, write one provenance manifest per run
+            (config digest, derived fault seed, attempts, wall time)
+            plus a campaign rollup into this directory — identically
+            for the serial and the parallel path.
 
     Returns:
         The populated :class:`CampaignResult` (gates not yet evaluated;
@@ -293,6 +299,7 @@ def run_campaign(
     from repro.experiments import framework
     from repro.experiments.engine import ParallelEngine
 
+    started = time.perf_counter()
     result = CampaignResult(spec=spec)
     crash_budget = {key: 1 for key in crash_keys}
     engine = ParallelEngine(
@@ -362,4 +369,69 @@ def run_campaign(
     else:
         points = _campaign_points(spec, result.reference, crash_keys)
         result.outcomes = engine.run(points, checkpoint=checkpoint, progress=note)
+    if telemetry_dir is not None:
+        _write_campaign_telemetry(
+            telemetry_dir, spec, result, engine,
+            time.perf_counter() - started,
+        )
     return result
+
+
+def _write_campaign_telemetry(
+    telemetry_dir: str,
+    spec: CampaignSpec,
+    result: CampaignResult,
+    engine,
+    seconds: float,
+) -> None:
+    """Write one manifest per campaign run plus the campaign rollup.
+
+    Written after both execution paths, so the manifests are identical
+    whether the campaign ran serially or through the parallel engine
+    (the per-run cache delta is only known on the engine path).
+    """
+    from repro.obs.manifest import RunManifest, write_sweep_manifest
+
+    spec_fields = {
+        "seed": spec.seed,
+        "scale": spec.scale,
+        "policy": spec.policy,
+        "thread_units": spec.thread_units,
+        "cycle_budget_factor": spec.cycle_budget_factor,
+    }
+    for workload in spec.workloads:
+        for rate in spec.rates:
+            key = run_key(workload, rate)
+            outcome = result.outcomes.get(key)
+            if outcome is None:
+                continue
+            RunManifest(
+                name=key,
+                config={**spec_fields, "workload": workload, "rate": rate},
+                seed=spec.seed,
+                seconds=outcome.seconds,
+                attempts=outcome.attempts,
+                ok=outcome.ok,
+                cache=engine._point_deltas.get(key, {}),
+                fault_plan={
+                    "rate": rate,
+                    "seed": workload_seed(spec.seed, workload),
+                },
+            ).write(telemetry_dir)
+    cache_totals = (
+        engine.cache.stats.to_dict() if engine.cache is not None else {}
+    )
+    write_sweep_manifest(
+        telemetry_dir,
+        name="campaign",
+        points=len(result.outcomes),
+        config=spec_fields,
+        seconds=seconds,
+        cache=cache_totals,
+        extra={
+            "workloads": list(spec.workloads),
+            "rates": list(spec.rates),
+            "resumed": result.resumed,
+            "failures": result.failures(),
+        },
+    )

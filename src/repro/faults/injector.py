@@ -17,6 +17,7 @@ import random
 from typing import Dict, List, Tuple
 
 from repro.faults.models import FaultPlan
+from repro.obs.events import EV_FORWARD_DELAY, NULL_TRACER
 
 
 def _keyed_u01(seed: int, tag: str, keys: tuple) -> float:
@@ -44,6 +45,8 @@ class FaultInjector:
         #: several times; the cache keeps the count and the delay stable).
         self.forward_delay_events = 0
         self._forward_cache: Dict[Tuple[int, int, int], int] = {}
+        #: Structured-event sink (the processor installs its tracer).
+        self.tracer = NULL_TRACER
         #: Lazily drawn blackout schedules, one entry per queried unit.
         self._windows: Dict[int, List[Tuple[int, int]]] = {}
 
@@ -108,4 +111,15 @@ class FaultInjector:
         self._forward_cache[key] = delay
         if delay:
             self.forward_delay_events += 1
+            # Cycle -1: the keyed decision has no simulated cycle in
+            # scope (the consumer applies the delay on its own clock).
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EV_FORWARD_DELAY,
+                    -1,
+                    thread=thread_seq,
+                    reg=reg,
+                    producer=producer,
+                    delay=delay,
+                )
         return delay

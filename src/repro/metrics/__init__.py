@@ -1,5 +1,15 @@
 """Aggregation helpers for experiment results."""
 
-from repro.metrics.means import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.metrics.means import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    weighted_harmonic_mean,
+)
 
-__all__ = ["harmonic_mean", "arithmetic_mean", "geometric_mean"]
+__all__ = [
+    "harmonic_mean",
+    "arithmetic_mean",
+    "geometric_mean",
+    "weighted_harmonic_mean",
+]

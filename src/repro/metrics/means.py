@@ -25,6 +25,35 @@ def harmonic_mean(values: Iterable[float]) -> float:
     return len(data) / sum(1.0 / v for v in data)
 
 
+def weighted_harmonic_mean(
+    values: Iterable[float], weights: Iterable[float]
+) -> float:
+    """Weighted harmonic mean: ``sum(w) / sum(w / v)``.
+
+    The natural aggregate for speed-ups when benchmarks differ in size:
+    weighting each benchmark's speed-up by its baseline cycle count
+    yields the speed-up of the combined workload (total baseline time
+    over total improved time).  Every value must be positive; weights
+    must be non-negative with a positive sum.  With equal weights this
+    degenerates to :func:`harmonic_mean` (property-tested in
+    ``tests/test_metrics_means.py``).
+    """
+    data = _as_list(values)
+    w = list(weights)
+    if len(w) != len(data):
+        raise ValueError(
+            f"got {len(data)} values but {len(w)} weights"
+        )
+    if any(v <= 0 for v in data):
+        raise ValueError("weighted harmonic mean requires positive values")
+    if any(weight < 0 for weight in w):
+        raise ValueError("weights must be non-negative")
+    total = sum(w)
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return total / sum(weight / v for weight, v in zip(w, data))
+
+
 def arithmetic_mean(values: Iterable[float]) -> float:
     data = _as_list(values)
     return sum(data) / len(data)

@@ -1,0 +1,189 @@
+"""Per-run and per-sweep manifests: what ran, with what, how long.
+
+A manifest is the provenance record of one experiment point (or one
+sweep): the canonical config digest, the seed, cache statistics, the
+fault plan (when one applied), and wall-clock durations.  Manifests are
+plain JSON files under a telemetry directory — ``repro exp --telemetry
+DIR`` and ``repro faults --telemetry DIR`` write one per point plus one
+sweep-level rollup, so a finished run can always answer "what exactly
+produced this number?" without re-running anything.
+
+Config digests reuse the artifact cache's canonical JSON encoding
+(:func:`repro.cache.canonical_key_fields`): two points with the same
+digest were produced by byte-identical key fields, which is the same
+identity the cache itself uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.cache import canonical_key_fields
+
+#: Version of the manifest JSON shape (bump on breaking changes).
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def config_digest(fields: Dict[str, Any]) -> str:
+    """Return the blake2b digest of a canonical config encoding.
+
+    Args:
+        fields: Every knob that identifies the run (workload, scale,
+            policy, predictor, processor overrides, fault plan, ...).
+
+    Returns:
+        A 32-hex-character digest; equal digests mean equal canonical
+        configs.
+    """
+    payload = canonical_key_fields(fields)
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one run (experiment point or campaign cell).
+
+    Attributes:
+        name: Human-readable point identity (e.g. ``fig8/gcc/tus=8``).
+        config: The canonical key fields of the run.
+        digest: blake2b digest of ``config`` (filled automatically).
+        seed: The run's RNG seed, when one applies.
+        seconds: Wall-clock duration of the run.
+        attempts: Hardened-runner attempts consumed (1 = first try).
+        ok: Whether the run ultimately succeeded.
+        cache: Artifact-cache counters observed by the run.
+        fault_plan: Fault-campaign parameters, when faults were injected.
+        extra: Free-form additional fields (summary counters, notes).
+    """
+
+    name: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    digest: str = ""
+    seed: Optional[int] = None
+    seconds: float = 0.0
+    attempts: int = 1
+    ok: bool = True
+    cache: Dict[str, Any] = field(default_factory=dict)
+    fault_plan: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = config_digest(self.config)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON view (``schema_version`` included)."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "name": self.name,
+            "config": self.config,
+            "digest": self.digest,
+            "seed": self.seed,
+            "seconds": round(self.seconds, 6),
+            "attempts": self.attempts,
+            "ok": self.ok,
+            "cache": self.cache,
+            "fault_plan": self.fault_plan,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its :meth:`to_dict` encoding."""
+        return cls(
+            name=data["name"],
+            config=dict(data.get("config", {})),
+            digest=data.get("digest", ""),
+            seed=data.get("seed"),
+            seconds=float(data.get("seconds", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            ok=bool(data.get("ok", True)),
+            cache=dict(data.get("cache", {})),
+            fault_plan=data.get("fault_plan"),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def write(self, directory: Union[str, Path]) -> Path:
+        """Write the manifest as ``<safe-name>.manifest.json`` under
+        ``directory`` (created on demand); atomic replace.
+
+        Returns:
+            The manifest's path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{_safe_name(self.name)}.manifest.json"
+        _atomic_write_json(path, self.to_dict())
+        return path
+
+
+def _safe_name(name: str) -> str:
+    """Flatten a point name into a filesystem-safe stem."""
+    return "".join(c if c.isalnum() or c in "-._" else "_" for c in name)
+
+
+def _atomic_write_json(path: Path, data: Dict[str, Any]) -> None:
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def write_sweep_manifest(
+    directory: Union[str, Path],
+    name: str,
+    points: int,
+    config: Dict[str, Any],
+    seconds: float,
+    cache: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the sweep-level rollup manifest (``sweep.manifest.json``).
+
+    Args:
+        directory: Telemetry directory (created on demand).
+        name: Sweep identity (e.g. ``fig8`` or ``faults/campaign``).
+        points: Number of points the sweep covered.
+        config: Sweep-level key fields (figure, jobs, scale, ...).
+        seconds: Total sweep wall time.
+        cache: Aggregated cache counters across workers, if any.
+        extra: Free-form additional fields.
+
+    Returns:
+        The manifest's path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "name": name,
+        "points": points,
+        "config": config,
+        "digest": config_digest(config),
+        "seconds": round(seconds, 6),
+        "cache": cache or {},
+        "extra": extra or {},
+    }
+    path = directory / "sweep.manifest.json"
+    _atomic_write_json(path, payload)
+    return path
+
+
+def read_manifests(directory: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Load every ``*.manifest.json`` under ``directory``.
+
+    Returns:
+        ``{file stem: parsed JSON}`` (the sweep rollup appears under
+        ``sweep.manifest``).
+    """
+    directory = Path(directory)
+    result: Dict[str, Dict[str, Any]] = {}
+    if not directory.is_dir():
+        return result
+    for path in sorted(directory.glob("*.manifest.json")):
+        result[path.name[: -len(".json")]] = json.loads(path.read_text())
+    return result

@@ -134,6 +134,7 @@ class TestCommands:
         assert main(["profile", "compress", "--scale", "0.1", "--json",
                      "--no-cprofile"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
         assert payload["ok"] is True
         assert payload["sim_core"] == "columnar"
         assert set(payload["phases"]) == {
@@ -153,3 +154,76 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["sim_core"] == "legacy"
         assert payload["ok"] is True
+
+
+class TestObservability:
+    """trace export / metrics dump+diff / telemetry wiring."""
+
+    def test_trace_without_workload_is_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+
+    def test_trace_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "compress", "--scale", "0.1",
+                     "--tus", "4", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "schema OK" in stdout
+        chrome = json.loads(out.read_text())
+        assert validate_chrome_trace(chrome) == []
+        assert chrome["otherData"]["workload"] == "compress"
+
+    def test_trace_smoke_writes_default_artifacts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "--smoke", "--scale", "0.1"]) == 0
+        assert (tmp_path / "trace.json").exists()
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["schema_version"] == 1
+        assert "repro_sim_cycles_total" in metrics["metrics"]
+
+    def test_metrics_dump_prometheus(self, capsys):
+        assert main(["metrics", "dump", "compress", "--scale", "0.1",
+                     "--tus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sim_cycles_total counter" in out
+        assert 'workload="compress"' in out
+
+    def test_metrics_diff_exit_codes(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["metrics", "dump", "compress", "--scale", "0.1",
+                     "--tus", "4", "--format", "json",
+                     "--out", str(a)]) == 0
+        assert main(["metrics", "dump", "compress", "--scale", "0.1",
+                     "--tus", "4", "--vp", "perfect", "--format", "json",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "diff", str(a), str(a)]) == 0
+        assert "0 sample(s) changed" in capsys.readouterr().out
+        assert main(["metrics", "diff", str(a), str(b)]) == 1
+        assert "->" in capsys.readouterr().out
+
+    def test_exp_telemetry_writes_manifests(self, capsys, tmp_path):
+        from repro.experiments import framework
+        from repro.obs import read_manifests
+
+        tele = tmp_path / "tele"
+        framework.clear_memos()
+        try:
+            assert main(["exp", "--fig", "figure3", "--scale", "0.1",
+                         "--jobs", "1", "--telemetry", str(tele),
+                         "--cache-dir", str(tmp_path / "cache")]) == 0
+        finally:
+            framework.clear_memos()
+        manifests = read_manifests(tele)
+        assert "sweep.manifest" in manifests
+        points = [m for stem, m in manifests.items()
+                  if stem != "sweep.manifest"]
+        assert points and all(m["ok"] for m in points)

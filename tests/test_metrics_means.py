@@ -1,0 +1,99 @@
+"""Property tests for :func:`repro.metrics.weighted_harmonic_mean`.
+
+The weighted harmonic mean is the aggregate the figure summaries report
+as ``whmean`` (speed-ups weighted by baseline cycles = the speed-up of
+the suite run back to back); these properties pin down its algebra.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import harmonic_mean, weighted_harmonic_mean
+
+#: Positive values in the range figure speed-ups actually inhabit.
+values_st = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=12,
+)
+
+
+@st.composite
+def values_with_weights(draw):
+    values = draw(values_st)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+            min_size=len(values), max_size=len(values),
+        )
+    )
+    return values, weights
+
+
+class TestProperties:
+    @given(values_st, st.floats(min_value=0.1, max_value=100.0))
+    def test_equal_weights_degenerate_to_harmonic_mean(self, values, w):
+        assert weighted_harmonic_mean(values, [w] * len(values)) == (
+            pytest.approx(harmonic_mean(values), rel=1e-9)
+        )
+
+    @given(values_with_weights())
+    def test_bounded_by_extremes(self, data):
+        values, weights = data
+        mean = weighted_harmonic_mean(values, weights)
+        assert min(values) <= mean * (1 + 1e-9)
+        assert mean <= max(values) * (1 + 1e-9)
+
+    @given(values_with_weights(), st.floats(min_value=0.01, max_value=100.0))
+    def test_invariant_under_weight_scaling(self, data, factor):
+        values, weights = data
+        assert weighted_harmonic_mean(values, weights) == pytest.approx(
+            weighted_harmonic_mean(values, [w * factor for w in weights]),
+            rel=1e-9,
+        )
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.floats(min_value=0.1, max_value=1000.0))
+    def test_single_value_is_identity(self, value, weight):
+        assert weighted_harmonic_mean([value], [weight]) == (
+            pytest.approx(value)
+        )
+
+    @given(values_with_weights())
+    def test_zero_weight_drops_its_value(self, data):
+        values, weights = data
+        extended = weighted_harmonic_mean(
+            values + [0.01], weights + [0.0]
+        )
+        assert extended == pytest.approx(
+            weighted_harmonic_mean(values, weights), rel=1e-9
+        )
+
+
+class TestKnownValuesAndValidation:
+    def test_known_value(self):
+        # total time interpretation: baseline 1+3 units of work at
+        # speed-ups 2 and 4 -> 4 / (1/2 + 3/4) = 3.2
+        assert weighted_harmonic_mean([2, 4], [1, 3]) == pytest.approx(3.2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="2 values but 3 weights"):
+            weighted_harmonic_mean([1, 2], [1, 1, 1])
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError, match="positive values"):
+            weighted_harmonic_mean([1, 0], [1, 1])
+        with pytest.raises(ValueError, match="positive values"):
+            weighted_harmonic_mean([1, -2], [1, 1])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_harmonic_mean([1, 2], [1, -1])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="not all be zero"):
+            weighted_harmonic_mean([1, 2], [0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean([], [])
