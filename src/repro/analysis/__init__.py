@@ -2,9 +2,13 @@
 
 This package analyses :class:`~repro.isa.program.Program` objects without
 executing them — the compile-time counterpart of :mod:`repro.profiling`'s
-trace-driven analyses.  It powers the ``repro lint`` and ``repro
-validate-pairs`` CLI commands and the static pre-filtering of spawning
-pairs in :mod:`repro.spawning`.
+trace-driven analyses.  It powers the ``repro lint``, ``repro
+validate-pairs``, ``repro analyze-deps`` and ``repro sanitize`` CLI
+commands and the static pre-filtering of spawning pairs in
+:mod:`repro.spawning`.  :mod:`repro.analysis.dependence` adds
+memory-dependence race analysis over spawning pairs and
+:mod:`repro.analysis.sanitizer` replays simulation event streams against
+the speculation invariants.
 """
 
 from repro.analysis.cfg import EdgeKind, StaticBlock, StaticCFG
@@ -19,6 +23,17 @@ from repro.analysis.dataflow import (
     solve_liveness,
     solve_reaching,
 )
+from repro.analysis.dependence import (
+    TOP,
+    DependenceAnalysis,
+    Interval,
+    LiveInClass,
+    SquashRiskReport,
+    analyze_pairs,
+    continuation_pc_ranges,
+    rank_pairs,
+    region_pc_ranges,
+)
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.analysis.dominators import (
     DominatorTree,
@@ -27,7 +42,18 @@ from repro.analysis.dominators import (
     natural_loops,
     postdominator_tree,
 )
-from repro.analysis.lint import LINT_RULES, lint_program
+from repro.analysis.lint import (
+    HIGH_SQUASH_RISK_THRESHOLD,
+    LINT_RULES,
+    lint_program,
+)
+from repro.analysis.sanitizer import (
+    REALISTIC_PREDICTORS,
+    SanitizerReport,
+    Violation,
+    sanitize_events,
+    sanitize_run,
+)
 from repro.analysis.validator import (
     PairFinding,
     PairValidationConfig,
@@ -49,6 +75,15 @@ __all__ = [
     "inst_uses",
     "solve_liveness",
     "solve_reaching",
+    "TOP",
+    "DependenceAnalysis",
+    "Interval",
+    "LiveInClass",
+    "SquashRiskReport",
+    "analyze_pairs",
+    "continuation_pc_ranges",
+    "rank_pairs",
+    "region_pc_ranges",
     "Diagnostic",
     "DiagnosticReport",
     "Severity",
@@ -57,8 +92,14 @@ __all__ = [
     "dominator_tree",
     "natural_loops",
     "postdominator_tree",
+    "HIGH_SQUASH_RISK_THRESHOLD",
     "LINT_RULES",
     "lint_program",
+    "REALISTIC_PREDICTORS",
+    "SanitizerReport",
+    "Violation",
+    "sanitize_events",
+    "sanitize_run",
     "PairFinding",
     "PairValidationConfig",
     "PairValidationReport",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.isa.instructions import Opcode
@@ -46,10 +46,12 @@ class StaticBlock:
 
     @property
     def size(self) -> int:
+        """Number of instructions in the block."""
         return self.end_pc - self.start_pc
 
     @property
     def last_pc(self) -> int:
+        """pc of the block's final instruction (its terminator)."""
         return self.end_pc - 1
 
 
@@ -213,17 +215,18 @@ class StaticCFG:
         return self.by_pc[0]
 
     def block_containing(self, pc: int) -> StaticBlock:
-        """The block whose range covers ``pc`` (ValueError if outside)."""
+        """Return the block whose range covers ``pc`` (ValueError if outside)."""
         if not 0 <= pc < len(self.program):
             raise ValueError(f"pc {pc} outside program")
         idx = bisect.bisect_right(self._starts, pc) - 1
         return self.blocks[idx]
 
     def leader_pcs(self) -> List[int]:
+        """Return every block leader pc in ascending order."""
         return list(self._starts)
 
     def successors(self, bid: int) -> List[int]:
-        """Successor block ids over every edge kind (deduplicated)."""
+        """Return successor block ids over every edge kind (deduplicated)."""
         seen: List[int] = []
         for dst, _kind in self.succs[bid]:
             if dst not in seen:
@@ -231,6 +234,7 @@ class StaticCFG:
         return seen
 
     def predecessors(self, bid: int) -> List[int]:
+        """Return predecessor block ids over every edge kind (deduplicated)."""
         seen: List[int] = []
         for src, _kind in self.preds[bid]:
             if src not in seen:
@@ -238,7 +242,7 @@ class StaticCFG:
         return seen
 
     def reachable_blocks(self) -> Set[int]:
-        """Block ids reachable from the entry over every edge kind."""
+        """Return block ids reachable from the entry over every edge kind."""
         if self._reachable is None:
             seen = {self.entry}
             stack = [self.entry]
@@ -252,8 +256,8 @@ class StaticCFG:
         return self._reachable
 
     def reachable_from(self, bid: int) -> Set[int]:
-        """Block ids reachable from ``bid`` (excluding ``bid`` itself unless
-        it lies on a cycle)."""
+        """Return block ids reachable from ``bid`` (excluding ``bid``
+        itself unless it lies on a cycle)."""
         seen: Set[int] = set()
         stack = [dst for dst in self.successors(bid)]
         while stack:

@@ -17,14 +17,14 @@ from repro.isa.instructions import Instruction
 
 
 def inst_def(inst: Instruction) -> Optional[int]:
-    """Register defined by ``inst`` (None for stores, branches, r0)."""
+    """Return the register ``inst`` defines (None for stores, branches, r0)."""
     if inst.dst is None or inst.dst == 0:
         return None
     return inst.dst
 
 
 def inst_uses(inst: Instruction) -> Tuple[int, ...]:
-    """Registers read by ``inst`` (r0 excluded)."""
+    """Return the registers ``inst`` reads (r0 excluded)."""
     return tuple(reg for reg in inst.srcs if reg != 0)
 
 
@@ -42,7 +42,7 @@ class LivenessResult:
         self.live_out = live_out
 
     def live_before(self, pc: int) -> FrozenSet[int]:
-        """Registers live immediately before executing ``pc``."""
+        """Return the registers live immediately before executing ``pc``."""
         block = self.cfg.block_containing(pc)
         live = set(self.live_out[block.bid])
         for cur in range(block.end_pc - 1, pc - 1, -1):
@@ -54,7 +54,7 @@ class LivenessResult:
         return frozenset(live)
 
     def live_after(self, pc: int) -> FrozenSet[int]:
-        """Registers live immediately after executing ``pc``."""
+        """Return the registers live immediately after executing ``pc``."""
         block = self.cfg.block_containing(pc)
         if pc == block.last_pc:
             return self.live_out[block.bid]
@@ -62,7 +62,11 @@ class LivenessResult:
 
 
 def solve_liveness(cfg: StaticCFG) -> LivenessResult:
-    """Backward may-analysis: which registers may be read before rewrite."""
+    """Backward may-analysis: which registers may be read before rewrite.
+
+    Returns:
+        A :class:`LivenessResult` with per-block and per-pc queries.
+    """
     use: Dict[int, Set[int]] = {}
     defs: Dict[int, Set[int]] = {}
     for block in cfg.blocks:
@@ -126,7 +130,7 @@ class ReachingDefsResult:
         self.reach_out = reach_out
 
     def defs_reaching(self, pc: int) -> FrozenSet[int]:
-        """Definition sites whose value may be observable just before ``pc``."""
+        """Return the def sites whose value may be observable before ``pc``."""
         block = self.cfg.block_containing(pc)
         program = self.cfg.program
         local: Set[int] = set()
@@ -145,7 +149,7 @@ class ReachingDefsResult:
         return frozenset(inherited | local)
 
     def undefined_reads(self) -> List[UndefinedRead]:
-        """Reads (in reachable blocks) with no reaching definition at all.
+        """Return reads (in reachable blocks) with no reaching definition.
 
         The machine zero-initialises registers, so these are suspicious
         rather than fatal — typically a workload-generator bug.
@@ -169,7 +173,11 @@ class ReachingDefsResult:
 
 
 def solve_reaching(cfg: StaticCFG) -> ReachingDefsResult:
-    """Forward may-analysis: which definition sites reach each block."""
+    """Forward may-analysis: which definition sites reach each block.
+
+    Returns:
+        A :class:`ReachingDefsResult` with per-block and per-pc queries.
+    """
     program = cfg.program
     gen: Dict[int, Set[int]] = {}
     kill_regs: Dict[int, Set[int]] = {}
@@ -224,8 +232,13 @@ class DeadStore:
     reg: int
 
 
-def dead_stores(cfg: StaticCFG, liveness: Optional[LivenessResult] = None) -> List[DeadStore]:
-    """Definitions in reachable blocks that are never live afterwards."""
+def dead_stores(
+    cfg: StaticCFG, liveness: Optional[LivenessResult] = None
+) -> List[DeadStore]:
+    """Return defs in ``cfg``'s reachable blocks never live afterwards.
+
+    ``liveness`` may be passed to reuse an already-solved analysis.
+    """
     liveness = liveness or solve_liveness(cfg)
     program = cfg.program
     result: List[DeadStore] = []

@@ -15,6 +15,7 @@ class Severity(enum.IntEnum):
     ERROR = 2
 
     def label(self) -> str:
+        """Return the lowercase severity name (``info`` .. ``error``)."""
         return self.name.lower()
 
 
@@ -28,6 +29,7 @@ class Diagnostic:
     pc: Optional[int] = None
 
     def format(self) -> str:
+        """Return a one-line ``pc severity rule: message`` rendering."""
         where = f"pc {self.pc:5d}" if self.pc is not None else "program "
         return f"{where}  {self.severity.label():7s} {self.rule}: {self.message}"
 
@@ -50,20 +52,25 @@ class DiagnosticReport:
         return iter(self.diagnostics)
 
     def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        """Return the diagnostics at exactly the given severity."""
         return [d for d in self.diagnostics if d.severity is severity]
 
     @property
     def errors(self) -> List[Diagnostic]:
+        """The error-level diagnostics."""
         return self.by_severity(Severity.ERROR)
 
     @property
     def warnings(self) -> List[Diagnostic]:
+        """The warning-level diagnostics."""
         return self.by_severity(Severity.WARNING)
 
     def has_errors(self) -> bool:
+        """Return True when any diagnostic is error-level."""
         return bool(self.errors)
 
     def summary(self) -> str:
+        """Return a one-line per-severity count of the diagnostics."""
         counts = ", ".join(
             f"{len(self.by_severity(sev))} {sev.label()}"
             for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
@@ -77,6 +84,7 @@ class DiagnosticReport:
         return text
 
     def format(self) -> str:
+        """Return the summary plus every diagnostic, one per line."""
         lines = [self.summary()]
         lines.extend(f"  {d.format()}" for d in self.diagnostics)
         return "\n".join(lines)

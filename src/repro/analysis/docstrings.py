@@ -26,7 +26,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["DocIssue", "audit_docstrings", "DEFAULT_TARGETS", "DOC_RULES"]
 
@@ -39,6 +39,7 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "repro.faults",
     "repro.cmt.config",
     "repro.cache",
+    "repro.analysis",
 )
 
 #: rule id -> (severity label, one-line description).
@@ -74,7 +75,7 @@ class DocIssue:
         return DOC_RULES[self.rule][0]
 
     def format(self) -> str:
-        """One-line rendering for the CLI."""
+        """Return the one-line rendering used by the CLI."""
         return (
             f"{self.module}:{self.lineno} [{self.severity}] "
             f"{self.qualname}: {self.message} ({self.rule})"
@@ -96,11 +97,13 @@ def _params_of(node: ast.AST) -> List[str]:
 
 
 def _returns_value(node: ast.AST) -> bool:
+    defs = (ast.FunctionDef, ast.AsyncFunctionDef)
     for child in ast.walk(node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and child is not node:
+        if isinstance(child, defs) and child is not node:
             continue  # nested defs are inspected on their own
         if isinstance(child, ast.Return) and child.value is not None:
-            if not (isinstance(child.value, ast.Constant) and child.value.value is None):
+            value = child.value
+            if not (isinstance(value, ast.Constant) and value.value is None):
                 return True
         if isinstance(child, (ast.Yield, ast.YieldFrom)):
             return True

@@ -40,7 +40,7 @@ class DominatorTree:
         return node in self.idom
 
     def dominates(self, a: int, b: int) -> bool:
-        """True when every path from the root to ``b`` passes through ``a``.
+        """Return True when every root-to-``b`` path passes through ``a``.
 
         Nodes absent from the tree (unreachable from the root) dominate
         nothing and are dominated by nothing.
@@ -52,6 +52,7 @@ class DominatorTree:
         return a == b
 
     def strictly_dominates(self, a: int, b: int) -> bool:
+        """Return True when ``a`` dominates ``b`` and ``a != b``."""
         return a != b and self.dominates(a, b)
 
 
@@ -106,7 +107,7 @@ def _solve(root: int, succs_of, preds_of) -> DominatorTree:
 
 
 def dominator_tree(cfg: StaticCFG) -> DominatorTree:
-    """Dominators of the static CFG rooted at the entry block."""
+    """Return the dominator tree of ``cfg`` rooted at the entry block."""
     return _solve(cfg.entry, cfg.successors, cfg.predecessors)
 
 
@@ -144,8 +145,10 @@ class NaturalLoop:
     body: frozenset
 
 
-def natural_loops(cfg: StaticCFG, dom: Optional[DominatorTree] = None) -> List[NaturalLoop]:
-    """Natural loops of the CFG; loops sharing a head are merged."""
+def natural_loops(
+    cfg: StaticCFG, dom: Optional[DominatorTree] = None
+) -> List[NaturalLoop]:
+    """Return the natural loops of ``cfg``; loops sharing a head are merged."""
     dom = dom or dominator_tree(cfg)
     tails_of: Dict[int, List[int]] = {}
     for block in cfg.blocks:

@@ -17,7 +17,7 @@ rationale; suppressed findings are dropped and only counted.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.cfg import StaticCFG
 from repro.analysis.dataflow import (
@@ -25,9 +25,13 @@ from repro.analysis.dataflow import (
     solve_liveness,
     solve_reaching,
 )
+from repro.analysis.dependence import DependenceAnalysis, SquashRiskReport
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
+
+#: ``high-squash-risk-pair`` fires at or above this static risk score.
+HIGH_SQUASH_RISK_THRESHOLD = 8.0
 
 #: rule id -> (severity, one-line description); the registry the CLI prints.
 LINT_RULES: Dict[str, tuple] = {
@@ -58,6 +62,15 @@ LINT_RULES: Dict[str, tuple] = {
     "dead-store": (
         Severity.INFO,
         "register definition that is never live afterwards",
+    ),
+    "high-squash-risk-pair": (
+        Severity.INFO,
+        "spawning-pair candidate whose static squash-risk score is high",
+    ),
+    "memory-carried-live-in-without-realistic-vp": (
+        Severity.INFO,
+        "spawning-pair candidate with a memory-carried live-in no value "
+        "predictor can cover",
     ),
 }
 
@@ -186,6 +199,76 @@ def _check_dead_stores(cfg: StaticCFG) -> List[Diagnostic]:
     return out
 
 
+def _static_candidate_pairs(program: Program) -> List[Tuple[int, int]]:
+    """(SP, CQIP) candidates derivable from static constructs alone.
+
+    The same constructs the traditional heuristics key on: loop
+    iterations (head, head), loop continuations (head, after the backward
+    branch) and subroutine continuations (call, return point).
+    """
+    n = len(program)
+    candidates = {(head, head) for head in program.loop_heads()}
+    for branch_pc in program.backward_branch_pcs():
+        target = program[branch_pc].target
+        if target is not None and branch_pc + 1 < n:
+            candidates.add((target, branch_pc + 1))
+    for call_pc in program.call_sites():
+        if call_pc + 1 < n:
+            candidates.add((call_pc, call_pc + 1))
+    return sorted(candidates)
+
+
+def _squash_reports(cfg: StaticCFG) -> List[SquashRiskReport]:
+    """Squash-risk reports for every static spawning-pair candidate."""
+    analysis = DependenceAnalysis(cfg.program, cfg)
+    reports = []
+    for sp_pc, cqip_pc in _static_candidate_pairs(cfg.program):
+        try:
+            reports.append(analysis.analyze_pair(sp_pc, cqip_pc))
+        except ValueError:
+            continue
+    return reports
+
+
+def _check_high_squash_risk(cfg: StaticCFG) -> List[Diagnostic]:
+    out = []
+    for report in _squash_reports(cfg):
+        if report.risk_score >= HIGH_SQUASH_RISK_THRESHOLD:
+            out.append(
+                Diagnostic(
+                    "high-squash-risk-pair",
+                    Severity.INFO,
+                    f"spawning candidate (SP {report.sp_pc}, CQIP "
+                    f"{report.cqip_pc}) has static squash risk "
+                    f"{report.risk_score:.2f} (threshold "
+                    f"{HIGH_SQUASH_RISK_THRESHOLD:.0f}): a speculative "
+                    "thread here would likely be squashed or mispredicted",
+                    pc=report.sp_pc,
+                )
+            )
+    return out
+
+
+def _check_memory_carried_live_ins(cfg: StaticCFG) -> List[Diagnostic]:
+    out = []
+    for report in _squash_reports(cfg):
+        carried = report.memory_carried_live_ins()
+        if carried:
+            regs = ", ".join(f"r{reg}" for reg in carried)
+            out.append(
+                Diagnostic(
+                    "memory-carried-live-in-without-realistic-vp",
+                    Severity.INFO,
+                    f"spawning candidate (SP {report.sp_pc}, CQIP "
+                    f"{report.cqip_pc}) has memory-carried live-in(s) "
+                    f"{regs}; no realistic value predictor covers them "
+                    "(recommended: synchronise)",
+                    pc=report.sp_pc,
+                )
+            )
+    return out
+
+
 _CHECKS = {
     "dangling-target": _check_dangling_targets,
     "fallthrough-end": _check_fallthrough_end,
@@ -194,6 +277,10 @@ _CHECKS = {
     "undefined-read": _check_undefined_reads,
     "halt-unreachable": _check_halt_reachable,
     "dead-store": _check_dead_stores,
+    "high-squash-risk-pair": _check_high_squash_risk,
+    "memory-carried-live-in-without-realistic-vp": (
+        _check_memory_carried_live_ins
+    ),
 }
 
 

@@ -14,7 +14,7 @@ from, the instructions it is skipped over).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.cfg import StaticCFG
@@ -23,6 +23,7 @@ from repro.analysis.dataflow import (
     inst_def,
     solve_liveness,
 )
+from repro.analysis.dependence import region_pc_ranges
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.dominators import postdominator_tree
 from repro.isa.program import Program
@@ -51,6 +52,7 @@ class PairFinding:
     diagnostic: Diagnostic
 
     def format(self) -> str:
+        """Return a one-line ``SP -> CQIP severity rule: message`` string."""
         d = self.diagnostic
         return (
             f"SP {self.pair.sp_pc} -> CQIP {self.pair.cqip_pc}  "
@@ -75,14 +77,17 @@ class PairValidationReport:
         return iter(self.findings)
 
     def findings_for(self, pair: SpawnPair) -> List[PairFinding]:
+        """Return the findings attached to ``pair`` (possibly empty)."""
         return self._by_key.get(pair.key(), [])
 
     def errors(self) -> List[PairFinding]:
+        """Return the error-level findings."""
         return [
             f for f in self.findings if f.diagnostic.severity is Severity.ERROR
         ]
 
     def warnings(self) -> List[PairFinding]:
+        """Return the warning-level findings."""
         return [
             f
             for f in self.findings
@@ -90,19 +95,22 @@ class PairValidationReport:
         ]
 
     def is_valid(self, pair: SpawnPair) -> bool:
-        """True when the pair has no error-level finding."""
+        """Return True when the pair has no error-level finding."""
         return not any(
             f.diagnostic.severity is Severity.ERROR
             for f in self.findings_for(pair)
         )
 
     def valid_pairs(self) -> List[SpawnPair]:
+        """Return the pairs with no error-level finding."""
         return [p for p in self.pairs if self.is_valid(p)]
 
     def invalid_pairs(self) -> List[SpawnPair]:
+        """Return the pairs rejected by an error-level finding."""
         return [p for p in self.pairs if not self.is_valid(p)]
 
     def summary(self) -> str:
+        """Return a one-line count of checked/rejected pairs and findings."""
         return (
             f"{len(self.pairs)} pairs checked: "
             f"{len(self.invalid_pairs())} rejected, "
@@ -110,6 +118,7 @@ class PairValidationReport:
         )
 
     def format(self) -> str:
+        """Return the summary plus every finding, one per line."""
         lines = [self.summary()]
         lines.extend(f"  {f.format()}" for f in self.findings)
         return "\n".join(lines)
@@ -125,44 +134,17 @@ def _region_written_regs(
 ) -> Set[int]:
     """Registers possibly written on some SP→CQIP path (CQIP exclusive).
 
-    The region is every block B with SP →* B →* CQIP; within the SP block
-    only instructions from the SP onward count, and within the CQIP block
-    only instructions before the CQIP count.
+    Returns:
+        The register numbers defined anywhere in the pc ranges of
+        :func:`repro.analysis.dependence.region_pc_ranges` (the shared
+        SP→CQIP region model).
     """
-    sp_block = cfg.block_containing(sp_pc)
-    cq_block = cfg.block_containing(cqip_pc)
-    from_sp = cfg.reachable_from(sp_block.bid)
-    from_sp.add(sp_block.bid)
-    # Blocks that can still reach the CQIP block (backward BFS).
-    to_cq: Set[int] = {cq_block.bid}
-    stack = [cq_block.bid]
-    while stack:
-        cur = stack.pop()
-        for pred in cfg.predecessors(cur):
-            if pred not in to_cq:
-                to_cq.add(pred)
-                stack.append(pred)
-    region = from_sp & to_cq
-
     written: Set[int] = set()
-    for bid in region:
-        block = cfg.blocks[bid]
-        ranges = [(block.start_pc, block.end_pc)]
-        if bid == sp_block.bid and bid == cq_block.bid:
-            if cqip_pc > sp_pc:
-                ranges = [(sp_pc, cqip_pc)]
-            else:
-                # The path wraps around a cycle through this block.
-                ranges = [(block.start_pc, cqip_pc), (sp_pc, block.end_pc)]
-        elif bid == sp_block.bid:
-            ranges = [(sp_pc, block.end_pc)]
-        elif bid == cq_block.bid:
-            ranges = [(block.start_pc, cqip_pc)]
-        for start, end in ranges:
-            for pc in range(start, end):
-                defined = inst_def(cfg.program[pc])
-                if defined is not None:
-                    written.add(defined)
+    for start, end in region_pc_ranges(cfg, sp_pc, cqip_pc):
+        for pc in range(start, end):
+            defined = inst_def(cfg.program[pc])
+            if defined is not None:
+                written.add(defined)
     return written
 
 
@@ -172,7 +154,11 @@ def validate_pairs(
     config: Optional[PairValidationConfig] = None,
     cfg: Optional[StaticCFG] = None,
 ) -> PairValidationReport:
-    """Cross-check every pair (including alternatives) against the program."""
+    """Cross-check every pair (including alternatives) against the program.
+
+    Returns:
+        A :class:`PairValidationReport` holding all findings.
+    """
     config = config or PairValidationConfig()
     cfg = cfg or StaticCFG(program)
     liveness: Optional[LivenessResult] = None
@@ -275,7 +261,12 @@ def filter_statically_valid(
     pairs: SpawnPairSet,
     config: Optional[PairValidationConfig] = None,
 ) -> SpawnPairSet:
-    """Drop pairs with error-level findings; keep provenance counters."""
+    """Drop pairs with error-level findings; keep provenance counters.
+
+    Returns:
+        ``pairs`` unchanged when nothing was rejected, otherwise a new
+        :class:`SpawnPairSet` with only the statically-valid pairs.
+    """
     report = validate_pairs(program, pairs, config)
     if not report.errors():
         return pairs

@@ -24,6 +24,13 @@ Commands
     Run the static workload linter (``repro.analysis.lint``).
 ``validate-pairs <workload>``
     Statically validate a spawning-pair table against the program.
+``analyze-deps <workload>``
+    Static memory-dependence analysis of a spawning-pair table: per-pair
+    squash-risk reports (``repro.analysis.dependence``).
+``sanitize``
+    Replay-sanitize traced simulations against the speculation
+    invariants (``repro.analysis.sanitizer``) across a workload ×
+    policy × predictor grid, plus a fault-injected corruption leg.
 ``faults``
     Run a fault-injection campaign and print the degradation report.
 ``exp``
@@ -46,7 +53,10 @@ All commands return 0 on success and 2 on a usage error (argparse).
 emitted (or any warning under ``--strict``; with ``--docstrings`` it is
 warn-only unless ``--strict``), ``validate-pairs`` returns 1 when any
 pair has an error-severity finding, and ``faults`` returns 1 when a
-campaign gate fails — all three are safe to gate CI on.  ``bench``
+campaign gate fails — all three are safe to gate CI on.  ``sanitize``
+returns 1 when any speculation invariant is violated and
+``analyze-deps --strict`` returns 1 when a pair needs synchronisation;
+both are CI gates too.  ``bench``
 returns 1 when the phases disagree on figure results or a sim-core
 gate fails, and ``profile`` returns 1 when a commit invariant is
 violated.  Structured
@@ -378,6 +388,106 @@ def cmd_validate_pairs(args) -> int:
     for finding in report:
         print(f"  {finding.format()}")
     return 1 if report.errors() else 0
+
+
+def cmd_analyze_deps(args) -> int:
+    from repro.analysis.dependence import analyze_pairs
+
+    trace = _trace_of(args)
+    pairs = _build_pairs(trace, args)
+    reports = analyze_pairs(trace.program, pairs)
+    print(f"{args.workload}: {len(reports)} pair(s) analysed")
+    for report in reports.values():
+        print(f"  {report.format()}")
+    if args.json:
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "pairs": [r.to_dict() for r in reports.values()],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote JSON report to {args.json}")
+    sync_pairs = [
+        r for r in reports.values() if r.recommended_predictor == "sync"
+    ]
+    if sync_pairs:
+        print(f"{len(sync_pairs)} pair(s) need synchronisation "
+              "(memory-carried live-ins)")
+    return 1 if args.strict and sync_pairs else 0
+
+
+def cmd_sanitize(args) -> int:
+    from repro.analysis.dependence import DependenceAnalysis
+    from repro.analysis.sanitizer import sanitize_run
+    from repro.faults import FaultInjector, FaultPlan, LiveinCorruptionFault
+
+    workloads = list(args.workloads or workload_names())
+    predictors = ("perfect", "stride", "fcm")
+    scale = args.scale
+    if args.smoke:
+        workloads = list(args.workloads or ("compress", "ijpeg"))
+        predictors = ("perfect", "stride")
+        scale = min(scale, 0.1)
+
+    corrupt_plan = FaultPlan(
+        seed=args.seed,
+        livein_corruption=LiveinCorruptionFault(rate=args.fault_rate),
+    )
+    runs = []
+    violations = 0
+    for name in workloads:
+        trace = load_trace(name, scale)
+        analysis = DependenceAnalysis(trace.program)
+        for policy in ("profile", "heuristics"):
+            if policy == "heuristics":
+                pairs = heuristic_pairs(trace, HeuristicConfig())
+            else:
+                pairs = select_profile_pairs(trace, ProfilePolicyConfig())
+            legs = [(vp, None) for vp in predictors]
+            legs.append(("stride", FaultInjector(corrupt_plan)))
+            for vp, injector in legs:
+                config = ProcessorConfig(
+                    num_thread_units=args.tus, value_predictor=vp
+                )
+                stats, report = sanitize_run(
+                    trace, pairs, config, injector, analysis=analysis
+                )
+                violations += len(report.violations)
+                label = f"{name}/{policy}/{vp}"
+                if injector is not None:
+                    label += "+corrupt"
+                status = "ok" if report.ok else "FAIL"
+                print(f"  {label:36s} {sum(report.checks.values()):6d} checks"
+                      f"  {len(report.violations):2d} violation(s)"
+                      f"  {report.corruptions_flagged:4d} corruption(s)"
+                      f"  {status}")
+                for violation in report.violations[:5]:
+                    print(f"    {violation.format()}")
+                runs.append({
+                    "workload": name,
+                    "policy": policy,
+                    "value_predictor": vp,
+                    "faulted": injector is not None,
+                    "liveins_corrupted": stats.liveins_corrupted,
+                    **report.to_dict(),
+                })
+    print(f"sanitize: {len(runs)} run(s), {violations} violation(s)")
+    if args.report:
+        import json
+
+        payload = {
+            "ok": violations == 0,
+            "scale": scale,
+            "seed": args.seed,
+            "fault_rate": args.fault_rate,
+            "runs": runs,
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote JSON report to {args.report}")
+    return 1 if violations else 0
 
 
 def cmd_faults(args) -> int:
@@ -726,6 +836,37 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", help="validate a saved pair table instead")
 
     p = sub.add_parser(
+        "analyze-deps",
+        help="static memory-dependence analysis of spawning pairs",
+    )
+    _add_workload_arg(p)
+    _add_policy_args(p)
+    p.add_argument("--load", help="analyse a saved pair table instead")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the per-pair reports as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any pair needs synchronisation "
+                   "(memory-carried live-ins)")
+
+    p = sub.add_parser(
+        "sanitize",
+        help="replay-sanitize simulations against speculation invariants",
+    )
+    p.add_argument("--workloads", nargs="*", choices=workload_names(),
+                   help="workloads to check (default: whole suite, or "
+                   "compress+ijpeg with --smoke)")
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="workload size multiplier (default 0.2)")
+    p.add_argument("--tus", type=int, default=8, help="thread units")
+    p.add_argument("--seed", type=int, default=2002,
+                   help="seed of the corruption fault plan")
+    p.add_argument("--fault-rate", type=float, default=0.25,
+                   help="live-in corruption rate of the faulted leg")
+    p.add_argument("--report", help="write the JSON violations report here")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed grid for CI")
+
+    p = sub.add_parser(
         "faults",
         help="fault-injection campaign with degradation report",
     )
@@ -858,6 +999,8 @@ _COMMANDS = {
     "figure": cmd_figure,
     "lint": cmd_lint,
     "validate-pairs": cmd_validate_pairs,
+    "analyze-deps": cmd_analyze_deps,
+    "sanitize": cmd_sanitize,
     "faults": cmd_faults,
     "exp": cmd_exp,
     "cache": cmd_cache,

@@ -1001,6 +1001,7 @@ class ClusteredProcessor:
                 sp_pc=sp_pc,
                 cqip_pc=chosen.cqip_pc,
                 start_pos=occurrence,
+                spawn_pos=pos,
             )
             self.tracer.emit(
                 EV_THREAD_START, start_cycle, tu=tu.tu_id, thread=child.seq

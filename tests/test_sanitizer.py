@@ -1,0 +1,245 @@
+"""Replay sanitizer: clean grids, corruption surfacing, tampered streams."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.dependence import DependenceAnalysis
+from repro.analysis.sanitizer import (
+    REALISTIC_PREDICTORS,
+    sanitize_events,
+    sanitize_run,
+)
+from repro.cmt import ProcessorConfig, simulate
+from repro.errors import InvariantViolation
+from repro.faults import FaultInjector, FaultPlan, LiveinCorruptionFault
+from repro.obs.events import (
+    EV_LIVEIN_CORRUPT,
+    EV_THREAD_COMMIT,
+    EV_THREAD_SPAWN,
+    EV_THREAD_SQUASH,
+    EventTracer,
+    events_from_jsonl,
+)
+from repro.spawning import (
+    HeuristicConfig,
+    ProfilePolicyConfig,
+    heuristic_pairs,
+    select_profile_pairs,
+)
+from repro.workloads import load_trace, workload_names
+
+GRID_SCALE = 0.1
+GRID_PREDICTORS = ("perfect", "stride", "fcm")
+
+_trace_cache = {}
+
+
+def _cached_trace(name):
+    if name not in _trace_cache:
+        _trace_cache[name] = (
+            load_trace(name, GRID_SCALE),
+            None,
+        )
+        trace = _trace_cache[name][0]
+        _trace_cache[name] = (trace, DependenceAnalysis(trace.program))
+    return _trace_cache[name]
+
+
+def _pairs_for(trace, policy):
+    if policy == "heuristics":
+        return heuristic_pairs(trace, HeuristicConfig())
+    return select_profile_pairs(trace, ProfilePolicyConfig())
+
+
+# ----------------------------------------------------------------------
+# Clean runs: zero violations across the whole suite and predictor menu.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ("profile", "heuristics"))
+@pytest.mark.parametrize("name", workload_names())
+def test_grid_is_clean(name, policy):
+    trace, analysis = _cached_trace(name)
+    pairs = _pairs_for(trace, policy)
+    for vp in GRID_PREDICTORS:
+        config = ProcessorConfig(num_thread_units=8, value_predictor=vp)
+        stats, report = sanitize_run(
+            trace, pairs, config, analysis=analysis
+        )
+        assert report.ok, f"{name}/{policy}/{vp}: {report.format()}"
+        assert report.corruptions_flagged == 0
+        assert stats.liveins_corrupted == 0
+        # Something was actually asserted, not vacuously clean.
+        assert sum(report.checks.values()) > 0
+
+
+def test_single_threaded_run_is_clean(loop_trace):
+    _, report = sanitize_run(loop_trace, pairs=None)
+    assert report.ok, report.format()
+    assert report.checks.get("commit-tiling", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Corruption campaigns: every injected corruption surfaces.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ("compress", "ijpeg"))
+def test_corruptions_all_flagged(name):
+    trace, analysis = _cached_trace(name)
+    pairs = _pairs_for(trace, "profile")
+    plan = FaultPlan(
+        seed=11, livein_corruption=LiveinCorruptionFault(rate=0.5)
+    )
+    config = ProcessorConfig(num_thread_units=8, value_predictor="stride")
+    stats, report = sanitize_run(
+        trace, pairs, config, FaultInjector(plan), analysis=analysis
+    )
+    assert stats.liveins_corrupted > 0
+    assert report.corruptions_flagged == stats.liveins_corrupted
+    assert report.ok, report.format()
+
+
+def test_realistic_predictor_set():
+    assert "perfect" not in REALISTIC_PREDICTORS
+    assert {"stride", "fcm", "last"} == set(REALISTIC_PREDICTORS)
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip: the exported stream sanitizes identically.
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_round_trip(loop_trace):
+    pairs = heuristic_pairs(loop_trace, HeuristicConfig())
+    config = ProcessorConfig(num_thread_units=4, value_predictor="stride")
+    tracer = EventTracer()
+    stats = simulate(loop_trace, pairs, config, tracer=tracer)
+    direct = sanitize_events(
+        loop_trace, tracer.events, stats=stats, compare_predictions=True
+    )
+    replayed = sanitize_events(
+        loop_trace,
+        events_from_jsonl(tracer.to_jsonl()),
+        stats=stats,
+        compare_predictions=True,
+    )
+    assert direct.ok and replayed.ok
+    assert direct.to_dict() == replayed.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Tampered streams: every mutation is caught by the right invariant.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_loop_run(request):
+    loop_trace = request.getfixturevalue("loop_trace")
+    pairs = heuristic_pairs(loop_trace, HeuristicConfig())
+    config = ProcessorConfig(num_thread_units=4, value_predictor="stride")
+    tracer = EventTracer()
+    stats = simulate(loop_trace, pairs, config, tracer=tracer)
+    events = list(tracer.events)
+    assert any(e.kind == EV_THREAD_SPAWN for e in events)
+    return loop_trace, events, stats
+
+
+def _violated(report, invariant):
+    return [v for v in report.violations if v.invariant == invariant]
+
+
+def test_dropped_commit_breaks_tiling(traced_loop_run):
+    trace, events, _ = traced_loop_run
+    commit_idx = max(
+        i for i, e in enumerate(events) if e.kind == EV_THREAD_COMMIT
+    )
+    tampered = events[:commit_idx] + events[commit_idx + 1:]
+    report = sanitize_events(trace, tampered)
+    assert not report.ok
+    assert _violated(report, "commit-tiling")
+
+
+def test_inflated_commit_size_breaks_tiling(traced_loop_run):
+    trace, events, _ = traced_loop_run
+    tampered = []
+    inflated = False
+    for event in events:
+        if not inflated and event.kind == EV_THREAD_COMMIT:
+            attrs = dict(event.attrs)
+            attrs["size"] = int(attrs.get("size", 0)) + 7
+            event = dataclasses.replace(event, attrs=attrs)
+            inflated = True
+        tampered.append(event)
+    report = sanitize_events(trace, tampered)
+    assert not report.ok
+    assert _violated(report, "commit-tiling")
+
+
+def test_fabricated_corruption_is_caught(traced_loop_run):
+    trace, events, stats = traced_loop_run
+    spawned = next(e.thread for e in events if e.kind == EV_THREAD_SPAWN)
+    from repro.obs.events import SimEvent
+
+    fake = SimEvent(
+        EV_LIVEIN_CORRUPT, cycle=0, thread=spawned, attrs={"reg": 1}
+    )
+    report = sanitize_events(trace, events + [fake], stats=stats)
+    assert not report.ok
+    assert _violated(report, "corruption-surfaced")
+
+
+def test_mutated_start_pos_breaks_spawn_target(traced_loop_run):
+    trace, events, _ = traced_loop_run
+    tampered = []
+    mutated = False
+    for event in events:
+        if not mutated and event.kind == EV_THREAD_SPAWN:
+            attrs = dict(event.attrs)
+            attrs["start_pos"] = int(attrs["start_pos"]) + 1
+            event = dataclasses.replace(event, attrs=attrs)
+            mutated = True
+        tampered.append(event)
+    report = sanitize_events(trace, tampered)
+    assert not report.ok
+    assert _violated(report, "spawn-target")
+
+
+def test_fold_then_commit_is_caught(traced_loop_run):
+    trace, events, _ = traced_loop_run
+    from repro.obs.events import SimEvent
+
+    committed = next(
+        e.thread
+        for e in events
+        if e.kind == EV_THREAD_COMMIT
+        and any(
+            s.kind == EV_THREAD_SPAWN and s.thread == e.thread
+            for s in events
+        )
+    )
+    fake_fold = SimEvent(
+        EV_THREAD_SQUASH, cycle=0, thread=committed, attrs={"mode": "fold"}
+    )
+    report = sanitize_events(trace, [fake_fold] + events)
+    assert not report.ok
+    assert any(
+        "folded" in v.message for v in _violated(report, "commit-tiling")
+    )
+
+
+def test_raise_first_raises_invariant_violation(traced_loop_run):
+    trace, events, _ = traced_loop_run
+    commit_idx = max(
+        i for i, e in enumerate(events) if e.kind == EV_THREAD_COMMIT
+    )
+    report = sanitize_events(
+        trace, events[:commit_idx] + events[commit_idx + 1:]
+    )
+    with pytest.raises(InvariantViolation):
+        report.raise_first()
+    # A clean report's raise_first is a no-op.
+    sanitize_events(trace, events).raise_first()
