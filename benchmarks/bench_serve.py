@@ -1,0 +1,49 @@
+"""Serve-daemon benchmark — the BENCH_serve.json source.
+
+Measures the resilient simulation service the way an operator would
+load it: p50/p99 job latency from concurrent clients against a cold
+artifact cache, the same submissions against a fresh daemon on a warm
+cache (every answer must be served from the cache without
+re-simulation), and a chaos leg that ``kill -9``-s a daemon subprocess
+mid-queue, restarts it, and requires every accepted job to complete
+exactly once.  The CLI equivalent, which CI runs and archives, is::
+
+    python -m repro serve --bench
+
+Run directly with ``pytest benchmarks/bench_serve.py``.
+"""
+
+from repro.serve.bench import run_serve_bench, write_serve_report
+
+
+def test_serve_bench_gates(tmp_path):
+    report = run_serve_bench(tmp_path / "work", clients=4, chaos_jobs=10)
+
+    cold, hot = report["cold"], report["hot"]
+    # Cold leg: every job executed, none lost, none cache-served.
+    assert cold["done"] == cold["jobs"] == report["grid_points"]
+    assert cold["cached"] == 0
+    assert cold["audit"]["lost"] == 0
+    assert cold["audit"]["duplicate_finishes"] == 0
+    assert cold["completion"]["p99_ms"] > 0
+
+    # Hot leg: a fresh daemon answers every identical config from the
+    # shared artifact cache without re-running the simulator.
+    assert hot["all_cached"]
+    assert hot["done"] == cold["jobs"]
+    # Cache-served submissions answer at HTTP round-trip speed; the
+    # cold leg had to simulate, so hot submit latency must beat cold
+    # completion latency outright.
+    assert hot["submit"]["p99_ms"] < cold["completion"]["p99_ms"]
+
+    # Chaos leg: kill -9 mid-queue, restart, exactly-once.
+    chaos = report["chaos"]
+    assert chaos["exactly_once"], chaos
+    assert chaos["lost"] == 0
+    assert chaos["duplicate_finishes"] == 0
+    assert chaos["requeued_after_kill"] >= 1
+    assert chaos["states"].get("done") == chaos["jobs_submitted"]
+
+    assert report["ok"]
+    out = write_serve_report(report, tmp_path / "BENCH_serve.json")
+    assert out.is_file() and out.stat().st_size > 0

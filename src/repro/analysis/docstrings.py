@@ -40,6 +40,7 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "repro.cmt.config",
     "repro.cache",
     "repro.analysis",
+    "repro.serve",
 )
 
 #: rule id -> (severity label, one-line description).

@@ -41,6 +41,10 @@ Commands
 ``bench``
     Benchmark the parallel engine and cache (``BENCH_parallel.json``)
     and the simulator core (``BENCH_simcore.json``).
+``serve``
+    Run the resilient simulation service (crash-safe journaled job
+    queue, admission control, HTTP/JSON API); ``--smoke`` runs the CI
+    gate, ``--bench`` the load/chaos benchmark (``BENCH_serve.json``).
 ``profile <workload>``
     Per-phase timings (trace build, column build, pair selection,
     simulate, commit check) and cProfile hotspots of one point.
@@ -59,7 +63,8 @@ returns 1 when any speculation invariant is violated and
 both are CI gates too.  ``bench``
 returns 1 when the phases disagree on figure results or a sim-core
 gate fails, and ``profile`` returns 1 when a commit invariant is
-violated.  Structured
+violated.  ``serve`` returns 1 when a smoke/bench gate fails or a
+drain ends with jobs still live.  Structured
 simulation/execution failures (timeouts, invariant violations, runaway
 workloads) exit 3 with a one-line message instead of a traceback.
 """
@@ -702,6 +707,104 @@ def cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    if args.smoke:
+        from repro.serve.bench import run_serve_smoke
+
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            report = run_serve_smoke(
+                Path(tmp) / "state", mode=args.mode
+            )
+        for check in report["checks"]:
+            status = "ok" if check["ok"] else "FAIL"
+            detail = (
+                f"  ({check['detail']})"
+                if check["detail"] and not check["ok"] else ""
+            )
+            print(f"  {check['name']:20s} {status}{detail}")
+        passed = sum(1 for check in report["checks"] if check["ok"])
+        print(f"serve smoke: {passed}/{len(report['checks'])} checks, "
+              f"{report['jobs']} job(s)")
+        return 0 if report["ok"] else 1
+
+    if args.bench:
+        from repro.serve.bench import run_serve_bench, write_serve_report
+
+        progress = (lambda line: print(line, file=sys.stderr))
+
+        def bench(workdir: str):
+            return run_serve_bench(
+                workdir,
+                clients=args.clients,
+                chaos_jobs=args.chaos_jobs,
+                skip_chaos=args.skip_chaos,
+                progress=progress,
+            )
+
+        if args.workdir:
+            report = bench(args.workdir)
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-serve-bench-"
+            ) as tmp:
+                report = bench(tmp)
+        path = write_serve_report(report, args.out)
+        chaos = report.get("chaos", {})
+        print(
+            f"wrote {path} (cold p99 "
+            f"{report['cold']['completion']['p99_ms']}ms, hot submit "
+            f"p99 {report['hot']['submit']['p99_ms']}ms, "
+            f"all_cached={report['hot']['all_cached']}"
+            + (
+                f", chaos exactly_once={chaos['exactly_once']}"
+                if chaos else ""
+            )
+            + ")"
+        )
+        return 0 if report["ok"] else 1
+
+    # Daemon mode: run until a drain (SIGTERM/SIGINT or POST
+    # /admin/drain) completes.
+    from repro.serve.server import ServeConfig, ServeDaemon
+
+    daemon = ServeDaemon(ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queued=args.max_queued,
+        shed_ratio=args.shed_ratio,
+        retries=args.retries,
+        timeout=args.timeout,
+        backoff=args.backoff,
+        jitter=args.jitter,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        telemetry_dir=args.telemetry,
+        drain_timeout=args.drain_timeout,
+        mode=args.mode,
+        fsync=not args.no_fsync,
+    ))
+    daemon.install_signal_handlers()
+    daemon.start()
+    host, port = daemon.address
+    recovery = daemon.recovery
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(state {daemon.state_dir})", flush=True)
+    if recovery.jobs:
+        print(f"recovered {recovery.jobs} job(s) from the journal: "
+              f"{recovery.requeued} requeued, {recovery.finished} "
+              f"already terminal, {recovery.duplicate_finishes} "
+              "duplicate finish(es)", flush=True)
+    clean = daemon.wait_drained(None)
+    audit = daemon.audit()
+    print(f"drained: {audit['terminal']}/{audit['accepted']} job(s) "
+          f"terminal, {audit['lost']} live", flush=True)
+    return 0 if clean and audit["lost"] == 0 else 1
+
+
 def cmd_profile(args) -> int:
     from repro.experiments.profiler import profile_run
 
@@ -967,6 +1070,63 @@ def make_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: a fresh temp dir)")
 
     p = sub.add_parser(
+        "serve",
+        help="resilient simulation service (crash-safe job queue, "
+        "admission control, HTTP/JSON API)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (0 = ephemeral; the bound port is "
+                   "advertised in <state-dir>/endpoint.json)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--state-dir", default=".repro-serve",
+                   help="journal + endpoint directory "
+                   "(default .repro-serve)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache shared with sweeps; identical "
+                   "submissions are served from it without re-running")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write per-job provenance manifests into DIR")
+    p.add_argument("--max-queued", type=int, default=64,
+                   help="admission bound on queued jobs (default 64)")
+    p.add_argument("--shed-ratio", type=float, default=0.8,
+                   help="queue-pressure fraction shedding low priority")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-attempt wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="transient-retry budget per job (default 2)")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="retry backoff base in seconds")
+    p.add_argument("--jitter", type=float, default=0.5,
+                   help="deterministic jitter fraction of the backoff")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds a graceful drain waits for live jobs")
+    p.add_argument("--mode", choices=("process", "thread"), default=None,
+                   help="worker execution mode (default: process where "
+                   "fork exists)")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip per-record journal fsync (faster, "
+                   "weakens crash durability)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: exercise one daemon end to end "
+                   "(execute/dedup/retry/quarantine/cancel/drain + "
+                   "journal recovery) and exit")
+    p.add_argument("--bench", action="store_true",
+                   help="load + chaos benchmark writing BENCH_serve.json")
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="bench report path (default BENCH_serve.json)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent bench clients (default 4)")
+    p.add_argument("--chaos-jobs", type=int, default=12,
+                   help="jobs in flight when the chaos leg kills the "
+                   "daemon (default 12)")
+    p.add_argument("--skip-chaos", action="store_true",
+                   help="skip the kill -9 / restart bench leg")
+    p.add_argument("--workdir", default=None,
+                   help="bench scratch directory (default: temp dir)")
+
+    p = sub.add_parser(
         "profile",
         help="per-phase timings and cProfile hotspots of one point",
     )
@@ -1005,6 +1165,7 @@ _COMMANDS = {
     "exp": cmd_exp,
     "cache": cmd_cache,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "profile": cmd_profile,
 }
 

@@ -19,6 +19,7 @@ from repro.experiments.framework import (
     FigureResult,
     ResilientOutcome,
     SweepCheckpoint,
+    backoff_delay,
     baseline_cycles,
     pair_set_for,
     resilient_sweep,
@@ -38,6 +39,7 @@ __all__ = [
     "profile_run",
     "ResilientOutcome",
     "SweepCheckpoint",
+    "backoff_delay",
     "baseline_cycles",
     "figure_points",
     "pair_set_for",

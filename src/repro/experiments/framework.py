@@ -16,6 +16,7 @@ because our synthetic traces lack SpecInt's cold-code tail, so the paper's
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import signal
@@ -461,19 +462,58 @@ class ResilientOutcome:
         )
 
 
+def backoff_delay(
+    backoff: float,
+    attempt: int,
+    jitter: float = 0.0,
+    jitter_key: str = "",
+) -> float:
+    """Exponential retry delay with deterministic, seeded jitter.
+
+    Args:
+        backoff: Base delay in seconds of the first retry.
+        attempt: Zero-based index of the attempt that just failed.
+        jitter: Jitter fraction in ``[0, 1]``: the delay is spread
+            uniformly over ``base * [1 - jitter, 1 + jitter]``.  The
+            default 0 reproduces the historical pure-exponential delay
+            bit-identically.
+        jitter_key: Stable identity of the retrying task (e.g. a job or
+            point key); together with ``attempt`` it seeds the jitter,
+            so concurrent retries of *different* tasks desynchronise
+            while re-runs of the *same* task stay deterministic.
+
+    Returns:
+        The delay in seconds (0.0 when ``backoff`` is 0).
+    """
+    base = backoff * (2**attempt)
+    if base <= 0 or jitter <= 0:
+        return max(base, 0.0)
+    digest = hashlib.blake2b(
+        f"{jitter_key}:{attempt}".encode("utf-8"), digest_size=8
+    ).digest()
+    fraction = int.from_bytes(digest, "big") / float(1 << 64)
+    return base * (1.0 + jitter * (2.0 * fraction - 1.0))
+
+
 def run_resilient(
     task: Callable[[], Any],
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.05,
+    jitter: float = 0.0,
+    jitter_key: str = "",
 ) -> ResilientOutcome:
     """Run ``task`` with a per-attempt wall-clock limit and bounded retry.
 
     A failing attempt (any :class:`Exception`, including the structured
     ``SimulationError`` family) is retried up to ``retries`` times with
     exponential backoff; ``KeyboardInterrupt``/``SystemExit`` propagate.
-    Never raises: a run that exhausts its retries is reported as a
-    failed :class:`ResilientOutcome` so a sweep can carry on.
+    ``jitter``/``jitter_key`` spread the backoff deterministically (see
+    :func:`backoff_delay`) so a herd of concurrent retries does not
+    resynchronise; the default ``jitter=0`` keeps the historical delays
+    bit-identical.  Never raises: a run that exhausts its retries is
+    reported as a failed :class:`ResilientOutcome` so a sweep can carry
+    on.
 
     Returns:
         A :class:`ResilientOutcome` with the task's value or the last
@@ -496,7 +536,9 @@ def run_resilient(
         except Exception as exc:
             last = exc
             if attempt < retries and backoff > 0:
-                time.sleep(backoff * (2**attempt))
+                time.sleep(
+                    backoff_delay(backoff, attempt, jitter, jitter_key)
+                )
     return ResilientOutcome(
         ok=False,
         attempts=retries + 1,
@@ -512,13 +554,34 @@ class SweepCheckpoint:
     A killed campaign restarts from the checkpoint: completed keys are
     skipped, half-finished runs simply re-run.  The file maps run key to
     a :class:`ResilientOutcome` dict.
+
+    A corrupt or truncated checkpoint file (e.g. the machine died while
+    an older non-atomic writer held it, or the disk lied) is never
+    fatal: the bad file is quarantined to ``<path>.corrupt`` and the
+    sweep restarts from an empty store, re-running everything instead
+    of crashing.  ``quarantined`` holds the quarantine path when that
+    happened.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._outcomes: Dict[str, Dict[str, Any]] = {}
+        self.quarantined: Optional[Path] = None
         if self.path.exists():
-            self._outcomes = json.loads(self.path.read_text())
+            try:
+                data = json.loads(self.path.read_text())
+                if not isinstance(data, dict):
+                    raise ValueError(
+                        f"checkpoint root is {type(data).__name__}, "
+                        "expected an object"
+                    )
+                self._outcomes = data
+            except (json.JSONDecodeError, ValueError, UnicodeDecodeError):
+                self.quarantined = self.path.with_suffix(
+                    self.path.suffix + ".corrupt"
+                )
+                os.replace(self.path, self.quarantined)
+                self._outcomes = {}
 
     def __contains__(self, key: str) -> bool:
         return key in self._outcomes
@@ -554,13 +617,15 @@ def resilient_sweep(
     retries: int = 2,
     backoff: float = 0.05,
     progress: Optional[Callable[[str, ResilientOutcome, bool], None]] = None,
+    jitter: float = 0.0,
 ) -> Dict[str, ResilientOutcome]:
     """Run every task resiliently, checkpointing each completed run.
 
     ``tasks`` maps a stable run key to a zero-argument callable returning
     a JSON-serialisable payload.  Keys already present in ``checkpoint``
     are resumed (not re-run).  ``progress(key, outcome, resumed)`` is
-    called after every run when given.
+    called after every run when given.  ``jitter`` spreads retry
+    backoffs deterministically per run key (see :func:`backoff_delay`).
     """
     results: Dict[str, ResilientOutcome] = {}
     for key, task in tasks.items():
@@ -569,7 +634,8 @@ def resilient_sweep(
             outcome = checkpoint.get(key)
         else:
             outcome = run_resilient(
-                task, timeout=timeout, retries=retries, backoff=backoff
+                task, timeout=timeout, retries=retries, backoff=backoff,
+                jitter=jitter, jitter_key=key,
             )
             if checkpoint is not None:
                 checkpoint.record(key, outcome)

@@ -1,0 +1,377 @@
+"""Supervised worker pool: retries, timeouts, cancellation, quarantine.
+
+Workers claim jobs from the :class:`~repro.serve.queue.JobQueue` and
+execute them like the simulator executes speculative threads — assume
+success, recover from anything:
+
+- each attempt runs (by default) in a **child process**, so a per-job
+  wall-clock timeout and a mid-attempt cancellation are hard kills
+  (``terminate``), never hangs;
+- failures classify through :func:`repro.serve.jobs.classify_failure`:
+  transient errors retry with the framework's deterministic jittered
+  exponential backoff (:func:`repro.experiments.framework.backoff_delay`
+  keyed by job id, so herds desynchronise),
+  :class:`~repro.errors.InvariantViolation` poison-quarantines the job
+  immediately — a simulator bug re-executes identically, so re-running
+  it would only burn the pool;
+- a worker whose child dies mid-attempt (OOM-kill, crash) sees EOF on
+  the result pipe and treats it as transient — the supervisor outlives
+  its workers.
+
+``mode="thread"`` executes attempts in-process (no hard kill; the
+``sleep`` runner and anything polling
+:func:`repro.serve.jobs.current_cancel_event` still cancel
+cooperatively) — useful on platforms without ``fork`` and in tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from typing import Any, List, Optional
+
+from repro.errors import SimulationTimeout
+from repro.experiments.framework import backoff_delay
+from repro.obs.manifest import RunManifest
+from repro.serve.jobs import (
+    Job,
+    JobCancelled,
+    classify_failure,
+    execute_job_payload,
+    rebuild_failure,
+    set_cancel_event,
+)
+from repro.serve.queue import JobQueue
+
+__all__ = ["WorkerPool"]
+
+
+def _child_main(
+    conn: "multiprocessing.connection.Connection",
+    runner: str,
+    params: Any,
+    cache_dir: Optional[str],
+) -> None:
+    """Child-process attempt body: run the job, ship the result back."""
+    try:
+        cache = None
+        if cache_dir:
+            from repro.cache import ArtifactCache
+
+            cache = ArtifactCache(cache_dir)
+        payload = execute_job_payload(runner, dict(params), cache)
+        conn.send(("ok", payload, None))
+    except BaseException as exc:  # ship *everything* to the supervisor
+        conn.send(("error", str(exc), type(exc).__name__))
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Fixed pool of supervisor threads executing queue jobs.
+
+    Args:
+        queue: The job queue to claim from.
+        workers: Worker thread count.
+        cache_dir: Artifact-cache directory shared with child processes
+            (None disables payload memoization).
+        timeout: Per-attempt wall-clock limit in seconds (None =
+            unbounded; enforced by hard kill in process mode).
+        retries: Extra attempts after the first, per job, for
+            transient failures.
+        backoff: Base of the exponential retry backoff in seconds.
+        jitter: Jitter fraction of the backoff (deterministically
+            seeded by job id; see
+            :func:`~repro.experiments.framework.backoff_delay`).
+        mode: ``"process"`` (default where ``fork`` exists) or
+            ``"thread"``.
+        telemetry_dir: When set, a provenance
+            :class:`~repro.obs.manifest.RunManifest` is written per
+            finished job.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        jitter: float = 0.5,
+        mode: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
+    ) -> None:
+        self.queue = queue
+        self.workers = max(1, int(workers))
+        self.cache_dir = cache_dir
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.jitter = jitter
+        if mode is None:
+            mode = "process" if hasattr(os, "fork") else "thread"
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.mode = mode
+        self.telemetry_dir = telemetry_dir
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._cache: Optional[Any] = None
+        if cache_dir and mode == "thread":
+            from repro.cache import ArtifactCache
+
+            self._cache = ArtifactCache(cache_dir)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True, timeout: float = 10.0) -> bool:
+        """Stop claiming new jobs; optionally join the workers.
+
+        Returns:
+            True when every worker exited within ``timeout``.
+        """
+        self._stop.set()
+        ok = True
+        if wait:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+                ok = ok and not thread.is_alive()
+        return ok
+
+    def join_idle(self, timeout: float = 30.0) -> bool:
+        """Wait until no job is queued or running (graceful drain).
+
+        Returns:
+            True when the queue emptied within ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.queue.pending() == 0:
+                return True
+            time.sleep(0.02)
+        return self.queue.pending() == 0
+
+    # ------------------------------------------------------------------
+    # Worker body.
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=0.1)
+            if job is None:
+                if self.queue.draining and self.queue.depth() == 0:
+                    time.sleep(0.02)
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:  # supervisor never dies
+                self.queue.fail(
+                    job,
+                    error=f"supervisor error: {exc}",
+                    error_type=type(exc).__name__,
+                )
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one claimed job to a terminal state."""
+        started = time.perf_counter()
+        cancel = threading.Event()
+        last: Optional[BaseException] = None
+        while True:
+            if job.cancel_requested:
+                self.queue.mark_cancelled(
+                    job, seconds=time.perf_counter() - started
+                )
+                self._write_manifest(job)
+                return
+            try:
+                payload = self._attempt(job, cancel)
+                self.queue.finish(
+                    job, payload,
+                    seconds=time.perf_counter() - started,
+                )
+                self._write_manifest(job)
+                return
+            except JobCancelled:
+                self.queue.mark_cancelled(
+                    job, seconds=time.perf_counter() - started
+                )
+                self._write_manifest(job)
+                return
+            except Exception as exc:
+                last = exc
+                category = classify_failure(exc)
+                seconds = time.perf_counter() - started
+                if category == "poison":
+                    self.queue.fail(
+                        job, error=str(exc),
+                        error_type=type(exc).__name__,
+                        quarantine=True, seconds=seconds,
+                    )
+                    self._write_manifest(job)
+                    return
+                if (
+                    category == "fatal"
+                    or job.attempts > self.retries
+                ):
+                    self.queue.fail(
+                        job, error=str(last),
+                        error_type=type(last).__name__,
+                        seconds=seconds,
+                    )
+                    self._write_manifest(job)
+                    return
+                delay = backoff_delay(
+                    self.backoff, job.attempts - 1,
+                    self.jitter, jitter_key=job.id,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                self.queue.note_attempt(job)
+
+    # ------------------------------------------------------------------
+    # One attempt.
+    # ------------------------------------------------------------------
+
+    def _attempt(self, job: Job, cancel: threading.Event) -> Any:
+        if self.mode == "thread":
+            return self._attempt_thread(job, cancel)
+        return self._attempt_process(job, cancel)
+
+    def _attempt_thread(
+        self, job: Job, cancel: threading.Event
+    ) -> Any:
+        """In-process attempt; cancellation is cooperative only."""
+        if job.cancel_requested:
+            raise JobCancelled("cancelled before the attempt started")
+        set_cancel_event(cancel)
+        watcher = threading.Thread(
+            target=self._watch_cancel, args=(job, cancel), daemon=True
+        )
+        watcher.start()
+        try:
+            return execute_job_payload(job.runner, job.params, self._cache)
+        finally:
+            cancel.set()  # stop the watcher
+            set_cancel_event(None)
+            watcher.join(timeout=1.0)
+            cancel.clear()
+
+    def _watch_cancel(self, job: Job, cancel: threading.Event) -> None:
+        """Mirror ``job.cancel_requested`` into the attempt's event."""
+        while not cancel.is_set():
+            if job.cancel_requested:
+                cancel.set()
+                return
+            time.sleep(0.02)
+
+    def _attempt_process(
+        self, job: Job, cancel: threading.Event
+    ) -> Any:
+        """Child-process attempt: hard timeout and hard cancellation."""
+        ctx = multiprocessing.get_context(
+            "fork" if hasattr(os, "fork") else "spawn"
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(child_conn, job.runner, job.params, self.cache_dir),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None and self.timeout > 0
+            else None
+        )
+        try:
+            while True:
+                if job.cancel_requested:
+                    self._kill(proc)
+                    raise JobCancelled("cancelled mid-attempt")
+                if deadline is not None and time.monotonic() > deadline:
+                    self._kill(proc)
+                    raise SimulationTimeout(
+                        "job attempt exceeded its wall-clock limit",
+                        seconds=self.timeout,
+                    )
+                if parent_conn.poll(0.05):
+                    break
+                if not proc.is_alive() and not parent_conn.poll(0.2):
+                    raise RuntimeError(
+                        "worker child died without a result "
+                        f"(exitcode {proc.exitcode})"
+                    )
+            try:
+                status, payload, error_type = parent_conn.recv()
+            except (EOFError, OSError):
+                raise RuntimeError(
+                    "worker child died without a result "
+                    f"(exitcode {proc.exitcode})"
+                ) from None
+            if status == "ok":
+                return payload
+            raise rebuild_failure(str(error_type), str(payload))
+        finally:
+            parent_conn.close()
+            if proc.is_alive():
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                self._kill(proc)
+            proc.join(timeout=1.0)
+
+    @staticmethod
+    def _kill(proc: "multiprocessing.process.BaseProcess") -> None:
+        proc.terminate()
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - needs SIGKILL
+            kill = getattr(proc, "kill", None)
+            if kill is not None:
+                kill()
+            proc.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Telemetry.
+    # ------------------------------------------------------------------
+
+    def _write_manifest(self, job: Job) -> None:
+        """Write the job's provenance manifest (best effort)."""
+        if self.telemetry_dir is None:
+            return
+        try:
+            RunManifest(
+                name=f"job-{job.id}",
+                config={"runner": job.runner, "params": job.params},
+                seconds=job.seconds,
+                attempts=max(job.attempts, 1),
+                ok=job.state.value == "done",
+                extra={
+                    "state": job.state.value,
+                    "priority": job.priority,
+                    "cached": job.cached,
+                    "error_type": job.error_type,
+                },
+            ).write(self.telemetry_dir)
+        except OSError:  # pragma: no cover - disk full etc.
+            pass

@@ -139,3 +139,84 @@ class TestResilientSweep:
         )
         assert not results["bad"].ok
         assert results["good"].ok
+
+
+class TestCorruptCheckpointRecovery:
+    def test_corrupt_json_quarantined_and_empty_start(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"a@0": {"ok": true, "val')  # truncated write
+
+        ckpt = SweepCheckpoint(path)
+        assert len(ckpt) == 0
+        assert ckpt.quarantined == tmp_path / "ckpt.json.corrupt"
+        assert ckpt.quarantined.exists()
+        assert not path.exists()
+        # The store works normally after quarantine.
+        ckpt.record("b@0", ResilientOutcome(ok=True, value=1))
+        assert "b@0" in SweepCheckpoint(path)
+
+    def test_non_object_root_quarantined(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+
+        ckpt = SweepCheckpoint(path)
+        assert len(ckpt) == 0
+        assert ckpt.quarantined is not None
+
+    def test_binary_garbage_quarantined(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_bytes(b"\x00\xff\xfe garbage \x80")
+
+        ckpt = SweepCheckpoint(path)
+        assert len(ckpt) == 0
+        assert ckpt.quarantined is not None
+
+    def test_valid_checkpoint_not_quarantined(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path).record(
+            "a@0", ResilientOutcome(ok=True, value=1)
+        )
+        ckpt = SweepCheckpoint(path)
+        assert ckpt.quarantined is None
+        assert "a@0" in ckpt
+
+
+class TestBackoffJitter:
+    def test_zero_jitter_is_bit_identical_exponential(self):
+        from repro.experiments import backoff_delay
+
+        for attempt in range(6):
+            assert backoff_delay(0.05, attempt) == 0.05 * (2**attempt)
+            assert backoff_delay(0.05, attempt, jitter=0.0,
+                                 jitter_key="k") == 0.05 * (2**attempt)
+
+    def test_jitter_is_deterministic_per_key_and_attempt(self):
+        from repro.experiments import backoff_delay
+
+        a = backoff_delay(0.05, 2, jitter=0.5, jitter_key="job-a")
+        assert a == backoff_delay(0.05, 2, jitter=0.5, jitter_key="job-a")
+        b = backoff_delay(0.05, 2, jitter=0.5, jitter_key="job-b")
+        assert a != b  # different tasks desynchronise
+
+    def test_jitter_stays_within_band(self):
+        from repro.experiments import backoff_delay
+
+        for key in ("a", "b", "c", "d", "e"):
+            for attempt in range(5):
+                base = 0.05 * (2**attempt)
+                delay = backoff_delay(0.05, attempt, jitter=0.5,
+                                      jitter_key=key)
+                assert base * 0.5 <= delay <= base * 1.5
+
+    def test_run_resilient_accepts_jitter(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise RuntimeError("transient")
+            return "done"
+
+        outcome = run_resilient(flaky, retries=2, backoff=0.001,
+                                jitter=0.5, jitter_key="flaky")
+        assert outcome.ok and outcome.attempts == 2

@@ -1,0 +1,143 @@
+"""Crash-safe WAL + snapshot journal of the serve daemon."""
+
+import json
+
+from repro.serve.journal import JobJournal
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line
+    ]
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "submit", "id": "a"})
+        journal.append({"event": "finish", "id": "a"})
+        journal.close()
+
+        recovery = JobJournal(tmp_path / "j.jsonl").replay()
+        assert recovery.snapshot == {}
+        assert [r["event"] for r in recovery.records] == [
+            "submit", "finish",
+        ]
+        assert recovery.dropped_tail == 0
+        assert recovery.quarantined == []
+
+    def test_missing_files_replay_empty(self, tmp_path):
+        recovery = JobJournal(tmp_path / "absent.jsonl").replay()
+        assert recovery.snapshot == {}
+        assert recovery.records == []
+
+    def test_append_reopens_after_close(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.close()
+        journal.append({"event": "b"})
+        journal.close()
+        assert len(_lines(tmp_path / "j.jsonl")) == 2
+
+
+class TestTruncatedTail:
+    def test_partial_final_record_dropped_and_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path, fsync=False)
+        journal.append({"event": "submit", "id": "a"})
+        journal.append({"event": "start", "id": "a"})
+        journal.close()
+        # kill -9 mid-append: the last record has no trailing newline.
+        with open(path, "a") as handle:
+            handle.write('{"event": "finish", "id": "a", "resu')
+
+        recovery = JobJournal(path).replay()
+        assert [r["event"] for r in recovery.records] == [
+            "submit", "start",
+        ]
+        assert recovery.dropped_tail == 1
+        assert recovery.quarantined == []
+
+    def test_complete_final_record_not_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path, fsync=False)
+        journal.append({"event": "submit", "id": "a"})
+        journal.close()
+
+        recovery = JobJournal(path).replay()
+        assert recovery.dropped_tail == 0
+        assert len(recovery.records) == 1
+
+
+class TestMidFileCorruption:
+    def test_corrupt_middle_keeps_prefix_and_quarantines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"event": "submit", "id": "a"}\n'
+            "NOT JSON AT ALL\n"
+            '{"event": "finish", "id": "a"}\n'
+        )
+
+        recovery = JobJournal(path).replay()
+        assert [r["event"] for r in recovery.records] == ["submit"]
+        assert recovery.dropped_tail == 0
+        quarantine = path.with_suffix(path.suffix + ".corrupt")
+        assert recovery.quarantined == [quarantine]
+        assert quarantine.exists()
+        # The original stays in place (copied, not moved) so the live
+        # daemon can keep appending after recovery compacts it.
+        assert path.exists()
+
+    def test_corrupt_snapshot_quarantined(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.snapshot_path.write_text("{broken json")
+
+        recovery = journal.replay()
+        assert recovery.snapshot == {}
+        assert recovery.quarantined == [
+            journal.snapshot_path.with_suffix(
+                journal.snapshot_path.suffix + ".corrupt"
+            )
+        ]
+        assert not journal.snapshot_path.exists()
+
+    def test_non_object_snapshot_quarantined(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.snapshot_path.write_text("[1, 2]")
+
+        recovery = journal.replay()
+        assert recovery.snapshot == {}
+        assert len(recovery.quarantined) == 1
+
+
+class TestRotation:
+    def test_rotate_persists_snapshot_and_truncates_wal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "submit", "id": "a"})
+        journal.rotate({"jobs": {"a": {"state": "done"}}})
+
+        assert journal.path.read_text() == ""
+        recovery = journal.replay()
+        assert recovery.snapshot == {"jobs": {"a": {"state": "done"}}}
+        assert recovery.records == []
+
+    def test_appends_after_rotate_replay_on_top(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.rotate({"jobs": {"a": {"state": "done"}}})
+        journal.append({"event": "submit", "id": "b"})
+        journal.close()
+
+        recovery = journal.replay()
+        assert recovery.snapshot["jobs"]["a"]["state"] == "done"
+        assert [r["id"] for r in recovery.records] == ["b"]
+
+    def test_rotate_leaves_no_temp_files(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "x"})
+        journal.rotate({"jobs": {}})
+        leftovers = [
+            p for p in tmp_path.iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
