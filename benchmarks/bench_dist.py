@@ -1,0 +1,53 @@
+"""Distributed-backend benchmark — the BENCH_dist.json source.
+
+Measures one figure sweep through every executor backend: the serial
+reference, the process pool, and a remote socket-worker fleet against a
+cold and then a warm network-shared artifact cache, plus a chaos leg
+that ``kill -9``-s one worker mid-sweep and requires the sweep to
+complete with nothing lost.  The CLI equivalent, which CI runs and
+archives, is::
+
+    python -m repro bench --dist --skip-parallel --skip-simcore --smoke
+
+Run directly with ``pytest benchmarks/bench_dist.py``.
+"""
+
+from repro.dist.bench import run_dist_bench, write_dist_report
+
+
+def test_dist_bench_gates(tmp_path):
+    report = run_dist_bench(
+        figure="figure3",
+        scale=0.12,
+        fleet_sizes=(2,),
+        workdir=tmp_path / "work",
+    )
+
+    phases = report["phases"]
+    assert set(phases) == {
+        "serial", "process", "remote_w2_cold", "remote_w2_warm",
+        "remote_chaos",
+    }
+
+    # Every backend produced the identical figure series.
+    assert report["equal_results"]
+
+    # The remote legs actually ran on a fleet and lost nothing.
+    for label in ("remote_w2_cold", "remote_w2_warm", "remote_chaos"):
+        fleet = phases[label]["fleet"]
+        assert fleet["lost"] == 0, (label, fleet)
+        assert fleet["completed"] == fleet["tasks"], (label, fleet)
+
+    # Warm leg: the shared cache answers everything — no rebuilds.
+    warm = phases["remote_w2_warm"]["cache"]
+    assert warm["misses"] == 0, warm
+
+    # Chaos leg: one worker SIGKILLed mid-sweep, sweep still drained.
+    chaos = report["chaos"]
+    assert chaos["killed"]
+    assert chaos["lost"] == 0
+    assert chaos["completed"] == chaos["tasks"]
+
+    assert report["ok"]
+    out = write_dist_report(report, tmp_path / "BENCH_dist.json")
+    assert out.is_file() and out.stat().st_size > 0

@@ -41,6 +41,7 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "repro.cache",
     "repro.analysis",
     "repro.serve",
+    "repro.dist",
 )
 
 #: rule id -> (severity label, one-line description).

@@ -242,6 +242,54 @@ class ArtifactCache:
         self._remember((kind, key), value)
         return path
 
+    def read_blob(self, kind: str, key: str) -> Optional[bytes]:
+        """Return the raw on-disk bytes of ``(kind, key)``, or None.
+
+        Used by the network cache layer, which ships artifacts between
+        hosts verbatim — the bytes are canonical by construction, so a
+        transferred blob is byte-identical to a locally built one.
+        Bypasses the LRU front and the hit/miss counters.
+
+        Args:
+            kind: Artifact kind (a codec name).
+            key: Content digest (see :meth:`key`).
+
+        Returns:
+            The serialised artifact bytes, or None when absent.
+        """
+        path = self.path(kind, key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def write_blob(self, kind: str, key: str, blob: bytes) -> Path:
+        """Write pre-serialised artifact bytes under ``(kind, key)``.
+
+        The atomic-replace discipline of :meth:`store` applies, but the
+        bytes are written verbatim (no codec round-trip) and neither the
+        LRU front nor the ``puts`` counter is touched — a pulled blob
+        only becomes a *hit* when :meth:`lookup` later decodes it.
+
+        Args:
+            kind: Artifact kind (a codec name).
+            key: Content digest the bytes were stored under remotely.
+            blob: The serialised artifact bytes.
+
+        Returns:
+            The artifact's on-disk path.
+        """
+        if kind not in _CODECS:
+            raise KeyError(
+                f"unknown artifact kind {kind!r}; choose from {list(_CODECS)}"
+            )
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
     def get_or_create(
         self, kind: str, build: Callable[[], Any], **fields: Any
     ) -> Any:

@@ -35,12 +35,18 @@ Commands
     Run a fault-injection campaign and print the degradation report.
 ``exp``
     Reproduce a figure through the parallel engine (``--jobs``,
-    ``--cache-dir``, ``--checkpoint``, ``--telemetry``).
+    ``--backend``, ``--workers``, ``--cache-dir``, ``--checkpoint``,
+    ``--telemetry``).
+``worker``
+    Distributed sweep worker: connect to a coordinator
+    (``--connect host:port``) and execute stolen points until the
+    sweep drains (see ``docs/distributed.md``).
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the on-disk artifact cache.
 ``bench``
     Benchmark the parallel engine and cache (``BENCH_parallel.json``)
-    and the simulator core (``BENCH_simcore.json``).
+    and the simulator core (``BENCH_simcore.json``); ``--dist`` adds
+    the distributed-backend benchmark (``BENCH_dist.json``).
 ``serve``
     Run the resilient simulation service (crash-safe journaled job
     queue, admission control, HTTP/JSON API); ``--smoke`` runs the CI
@@ -64,7 +70,8 @@ both are CI gates too.  ``bench``
 returns 1 when the phases disagree on figure results or a sim-core
 gate fails, and ``profile`` returns 1 when a commit invariant is
 violated.  ``serve`` returns 1 when a smoke/bench gate fails or a
-drain ends with jobs still live.  Structured
+drain ends with jobs still live, and ``worker`` returns 1 when the
+coordinator connection is lost before a clean shutdown.  Structured
 simulation/execution failures (timeouts, invariant violations, runaway
 workloads) exit 3 with a one-line message instead of a traceback.
 """
@@ -534,6 +541,8 @@ def cmd_faults(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         telemetry_dir=args.telemetry,
+        backend=args.backend,
+        workers=args.workers,
     )
     print(result.render())
     if args.report:
@@ -585,6 +594,8 @@ def cmd_exp(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         telemetry_dir=args.telemetry,
+        backend=args.backend,
+        workers=args.workers,
     )
     checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
     progress = None
@@ -603,6 +614,16 @@ def cmd_exp(args) -> int:
             f"cache: {events['memory_hits']} memory hits, "
             f"{events['disk_hits']} disk hits, {events['misses']} misses "
             f"({engine.cache_hit_rate():.0%} hit rate)",
+            file=sys.stderr,
+        )
+    if engine.fleet:
+        fleet = engine.fleet
+        print(
+            f"fleet [{engine.backend_name}]: "
+            f"{fleet.get('completed', 0)}/{fleet.get('tasks', 0)} tasks, "
+            f"lost={fleet.get('lost', 0)}, "
+            f"requeues={fleet.get('requeues', 0)}, "
+            f"steals={sum(fleet.get('steals', {}).values())}",
             file=sys.stderr,
         )
     return 0
@@ -671,6 +692,7 @@ def cmd_bench(args) -> int:
             jobs=args.jobs,
             cache_dir=cache_dir,
             progress=progress,
+            backend=args.backend,
         )
         simcore = None
         if not args.skip_simcore:
@@ -684,26 +706,60 @@ def cmd_bench(args) -> int:
             )
         return parallel, simcore
 
-    if args.cache_dir:
-        report, simcore = bench(args.cache_dir)
-    else:
-        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-            report, simcore = bench(tmp)
-    path = write_bench_report(report, args.out)
-    print(f"wrote {path} (equal_results={report['equal_results']}, "
-          f"warm speedup jobs=1 {report['warm_speedup_jobs1']}x, "
-          f"jobs={report['parallel_jobs']} "
-          f"{report['warm_speedup_jobsN']}x)")
-    ok = report["equal_results"]
-    if simcore is not None:
-        simcore_path = write_simcore_report(simcore, args.simcore_out)
-        print(
-            f"wrote {simcore_path} (equal_results="
-            f"{simcore['equal_results']}, cold sweep speedup "
-            f"{simcore['sweep']['speedup']}x, warm columns hit rate "
-            f"{simcore['columns_cache']['warm_hit_rate']:.0%})"
+    ok = True
+    if not args.skip_parallel:
+        if args.cache_dir:
+            report, simcore = bench(args.cache_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                report, simcore = bench(tmp)
+        path = write_bench_report(report, args.out)
+        print(f"wrote {path} (equal_results={report['equal_results']}, "
+              f"warm speedup jobs=1 {report['warm_speedup_jobs1']}x, "
+              f"jobs={report['parallel_jobs']} "
+              f"{report['warm_speedup_jobsN']}x)")
+        ok = report["equal_results"]
+        if simcore is not None:
+            simcore_path = write_simcore_report(simcore, args.simcore_out)
+            print(
+                f"wrote {simcore_path} (equal_results="
+                f"{simcore['equal_results']}, cold sweep speedup "
+                f"{simcore['sweep']['speedup']}x, warm columns hit rate "
+                f"{simcore['columns_cache']['warm_hit_rate']:.0%})"
+            )
+            ok = ok and simcore["ok"]
+    if args.dist:
+        from repro.dist.bench import run_dist_bench, write_dist_report
+
+        try:
+            fleet_sizes = tuple(
+                int(token)
+                for token in args.workers.split(",")
+                if token.strip() != ""
+            )
+        except ValueError:
+            print(f"bench: bad --workers value {args.workers!r}",
+                  file=sys.stderr)
+            return 2
+        dist = run_dist_bench(
+            figure=_normalize_figure(args.dist_fig),
+            scale=0.12 if args.smoke else 0.25,
+            fleet_sizes=fleet_sizes or ((2,) if args.smoke else (2, 4)),
+            skip_chaos=args.skip_chaos,
+            progress=progress,
         )
-        ok = ok and simcore["ok"]
+        dist_path = write_dist_report(dist, args.dist_out)
+        chaos = dist.get("chaos") or {}
+        print(
+            f"wrote {dist_path} (equal_results={dist['equal_results']}"
+            + (
+                f", chaos lost={chaos.get('lost')} "
+                f"requeues={chaos.get('requeues')}"
+                if chaos else ""
+            )
+            + ")"
+        )
+        ok = ok and dist["ok"]
     return 0 if ok else 1
 
 
@@ -785,6 +841,7 @@ def cmd_serve(args) -> int:
         telemetry_dir=args.telemetry,
         drain_timeout=args.drain_timeout,
         mode=args.mode,
+        backend=args.backend,
         fsync=not args.no_fsync,
     ))
     daemon.install_signal_handlers()
@@ -803,6 +860,21 @@ def cmd_serve(args) -> int:
     print(f"drained: {audit['terminal']}/{audit['accepted']} job(s) "
           f"terminal, {audit['lost']} live", flush=True)
     return 0 if clean and audit["lost"] == 0 else 1
+
+
+def cmd_worker(args) -> int:
+    from repro.dist.worker import run_worker
+
+    try:
+        return run_worker(
+            args.connect,
+            worker_id=args.id,
+            cache_dir=args.cache_dir,
+            heartbeat=args.heartbeat,
+        )
+    except ValueError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_profile(args) -> int:
@@ -1005,6 +1077,13 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write per-run provenance manifests (config "
                    "digest, fault seed, wall time) plus a campaign "
                    "rollup into DIR")
+    p.add_argument("--backend",
+                   choices=("serial", "process", "async-local", "remote"),
+                   default=None,
+                   help="executor backend (default: serial for --jobs 1, "
+                   "process otherwise)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="backend parallelism (default: --jobs)")
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", help="figure2 .. figure12 (a/b variants)")
@@ -1034,6 +1113,29 @@ def make_parser() -> argparse.ArgumentParser:
                    "rollup into DIR")
     p.add_argument("--verbose", action="store_true",
                    help="print per-point progress to stderr")
+    p.add_argument("--backend",
+                   choices=("serial", "process", "async-local", "remote"),
+                   default=None,
+                   help="executor backend (default: serial for --jobs 1, "
+                   "process otherwise)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="backend parallelism (default: --jobs; fleet "
+                   "size for --backend remote)")
+
+    p = sub.add_parser(
+        "worker",
+        help="distributed sweep worker: connect to a coordinator and "
+        "execute stolen points",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator endpoint to dial")
+    p.add_argument("--id", default=None,
+                   help="stable worker id for telemetry (default w-<pid>)")
+    p.add_argument("--cache-dir", default=None,
+                   help="local artifact-cache directory (default: a "
+                   "throwaway temp dir; the shared cache fills it)")
+    p.add_argument("--heartbeat", type=float, default=2.0,
+                   help="seconds between liveness beacons (default 2)")
 
     p = sub.add_parser("cache", help="artifact-cache maintenance")
     p.add_argument("action", choices=("stats", "clear", "warm"))
@@ -1068,6 +1170,28 @@ def make_parser() -> argparse.ArgumentParser:
                    help="skip the simulator-core benchmark phase")
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: a fresh temp dir)")
+    p.add_argument("--dist", action="store_true",
+                   help="also run the distributed-backend benchmark "
+                   "(serial vs process vs remote fleets, cold vs warm "
+                   "shared cache, kill -9 chaos leg)")
+    p.add_argument("--skip-parallel", action="store_true",
+                   help="skip the parallel/simcore phases (with --dist: "
+                   "distributed benchmark only)")
+    p.add_argument("--dist-fig", default="figure3",
+                   help="figure sweep of the --dist benchmark "
+                   "(default figure3)")
+    p.add_argument("--dist-out", default="BENCH_dist.json",
+                   help="--dist report path (default BENCH_dist.json)")
+    p.add_argument("--workers", default="",
+                   help="comma-separated remote fleet sizes for --dist "
+                   "(default 2,4; 2 with --smoke)")
+    p.add_argument("--skip-chaos", action="store_true",
+                   help="skip the --dist kill -9 chaos leg")
+    p.add_argument("--backend",
+                   choices=("process", "async-local", "remote"),
+                   default=None,
+                   help="executor backend of the jobs=N phases "
+                   "(default process)")
 
     p = sub.add_parser(
         "serve",
@@ -1105,6 +1229,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("process", "thread"), default=None,
                    help="worker execution mode (default: process where "
                    "fork exists)")
+    p.add_argument("--backend", choices=("process", "thread"), default=None,
+                   help="worker-pool backend knob (supersedes --mode "
+                   "when both are given)")
     p.add_argument("--no-fsync", action="store_true",
                    help="skip per-record journal fsync (faster, "
                    "weakens crash durability)")
@@ -1163,6 +1290,7 @@ _COMMANDS = {
     "sanitize": cmd_sanitize,
     "faults": cmd_faults,
     "exp": cmd_exp,
+    "worker": cmd_worker,
     "cache": cmd_cache,
     "bench": cmd_bench,
     "serve": cmd_serve,

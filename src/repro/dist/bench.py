@@ -1,0 +1,246 @@
+"""Distributed-backend benchmark — the ``BENCH_dist.json`` source.
+
+Measures one figure sweep through every executor backend the engine
+offers: the bit-identical ``serial`` reference, the historical
+``process`` pool, and ``remote`` worker fleets of each requested size —
+the remote legs twice, against a cold and then a warm network-shared
+artifact cache, so the report captures both scaling efficiency and how
+much the blob-sharing layer buys a cold fleet.  A chaos leg ``kill
+-9``-s one worker mid-sweep and requires the sweep to complete with
+``lost == 0`` (requeue-on-death exactly-once).
+
+The report's gates: every phase produced an identical figure series,
+and the chaos leg lost nothing.  CLI equivalent (CI runs and archives
+it)::
+
+    python -m repro bench --dist --skip-parallel --skip-simcore --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import signal
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cache import generator_version
+from repro.experiments import framework
+from repro.experiments.engine import ParallelEngine, run_figure
+
+__all__ = ["run_dist_bench", "write_dist_report"]
+
+
+def _phase(
+    label: str,
+    figure: str,
+    scale: float,
+    engine: ParallelEngine,
+    progress: Optional[Callable[[str], None]] = None,
+    point_progress: Optional[Callable[..., None]] = None,
+) -> Dict[str, Any]:
+    """Run one bench phase through ``engine``; returns the phase record.
+
+    Args:
+        label: Phase name in the report.
+        figure: Figure driver to sweep.
+        scale: Workload size multiplier.
+        engine: The configured engine (backend already chosen).
+        progress: Optional one-line status callback.
+        point_progress: Optional per-point callback forwarded to the
+            sweep (the chaos leg uses it to time its kill).
+
+    Returns:
+        The phase record (seconds, cache counters, fleet summary,
+        figure series).
+    """
+    framework.clear_memos()
+    start = time.perf_counter()
+    result = run_figure(figure, scale, engine, progress=point_progress)
+    seconds = time.perf_counter() - start
+    record = {
+        "label": label,
+        "backend": engine.backend_name,
+        "workers": engine.workers,
+        "seconds": round(seconds, 4),
+        "cache": dict(engine.cache_events),
+        "cache_hit_rate": round(engine.cache_hit_rate(), 4),
+        "fleet": dict(engine.fleet),
+        "series": result.series,
+    }
+    if progress is not None:
+        progress(
+            f"{label}: {seconds:.2f}s, hit rate "
+            f"{record['cache_hit_rate']:.0%}"
+        )
+    return record
+
+
+def _chaos_phase(
+    figure: str,
+    scale: float,
+    cache_dir: str,
+    progress: Optional[Callable[[str], None]],
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Kill -9 one worker mid-sweep; the sweep must still drain.
+
+    Args:
+        figure: Figure driver to sweep.
+        scale: Workload size multiplier.
+        cache_dir: Fresh shared-cache directory of the leg.
+        progress: Optional one-line status callback.
+
+    Returns:
+        ``(phase_record, chaos_gates)`` where the gates dict carries
+        ``lost``/``requeues``/``completed``/``killed``.
+    """
+    from repro.dist.coordinator import RemoteBackend
+
+    backend = RemoteBackend(heartbeat=0.5, heartbeat_timeout=3.0)
+    state = {"killed": False}
+
+    def kill_one(key: str, outcome: Any, resumed: bool) -> None:
+        if not state["killed"] and backend.processes:
+            os.kill(backend.processes[0].pid, signal.SIGKILL)
+            state["killed"] = True
+
+    engine = ParallelEngine(
+        jobs=2, backend=backend, workers=2, cache_dir=cache_dir
+    )
+    record = _phase(
+        "remote_chaos", figure, scale, engine,
+        progress=progress, point_progress=kill_one,
+    )
+    fleet = record["fleet"]
+    gates = {
+        "killed": state["killed"],
+        "tasks": fleet.get("tasks", 0),
+        "completed": fleet.get("completed", 0),
+        "lost": fleet.get("lost", 1),
+        "requeues": fleet.get("requeues", 0),
+        "duplicate_finishes": fleet.get("duplicate_finishes", 0),
+    }
+    return record, gates
+
+
+def run_dist_bench(
+    figure: str = "figure3",
+    scale: float = 0.25,
+    fleet_sizes: Sequence[int] = (2, 4),
+    skip_chaos: bool = False,
+    workdir: Union[str, Path, None] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark the executor backends against one figure sweep.
+
+    Args:
+        figure: Figure driver to sweep (default ``figure3``).
+        scale: Workload size multiplier.
+        fleet_sizes: Remote worker-fleet sizes to measure (each gets a
+            cold and a warm shared-cache leg).
+        skip_chaos: Skip the kill -9 leg.
+        workdir: Scratch directory for per-phase cache dirs (default:
+            a temporary directory).
+        progress: Optional per-phase status callback.
+
+    Returns:
+        The benchmark report: per-phase records, per-fleet scaling
+        efficiency and warm speedups, ``equal_results``, chaos gates,
+        and the overall ``ok`` flag.
+    """
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-dist-bench-")
+        workdir = tmp.name
+    workdir = Path(workdir)
+    try:
+        phases: List[Dict[str, Any]] = []
+        phases.append(
+            _phase(
+                "serial", figure, scale,
+                ParallelEngine(jobs=1, cache_dir=workdir / "serial"),
+                progress,
+            )
+        )
+        phases.append(
+            _phase(
+                "process", figure, scale,
+                ParallelEngine(
+                    jobs=2, backend="process",
+                    cache_dir=workdir / "process",
+                ),
+                progress,
+            )
+        )
+        for size in fleet_sizes:
+            shared = workdir / f"remote_w{size}"
+            for leg in ("cold", "warm"):
+                phases.append(
+                    _phase(
+                        f"remote_w{size}_{leg}", figure, scale,
+                        ParallelEngine(
+                            jobs=size, backend="remote", workers=size,
+                            cache_dir=shared,
+                        ),
+                        progress,
+                    )
+                )
+        chaos: Dict[str, Any] = {}
+        if not skip_chaos:
+            record, chaos = _chaos_phase(
+                figure, scale, str(workdir / "chaos"), progress
+            )
+            phases.append(record)
+        framework.clear_memos()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    serial_seconds = phases[0]["seconds"]
+    first_series = phases[0]["series"]
+    equal = all(p["series"] == first_series for p in phases)
+    scaling: Dict[str, Any] = {}
+    by_label = {p["label"]: p for p in phases}
+    for size in fleet_sizes:
+        cold = by_label[f"remote_w{size}_cold"]["seconds"]
+        warm = by_label[f"remote_w{size}_warm"]["seconds"]
+        scaling[f"w{size}"] = {
+            "speedup_vs_serial": round(serial_seconds / cold, 2)
+            if cold else float("inf"),
+            "efficiency": round(serial_seconds / (size * cold), 2)
+            if cold else float("inf"),
+            "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
+        }
+    ok = equal and (skip_chaos or (
+        chaos.get("lost") == 0
+        and chaos.get("completed") == chaos.get("tasks")
+        and bool(chaos.get("killed"))
+    ))
+    return {
+        "kind": "dist",
+        "figure": figure,
+        "scale": scale,
+        "fleet_sizes": list(fleet_sizes),
+        "generator_version": generator_version(),
+        "python": platform.python_version(),
+        "phases": {
+            p["label"]: {k: v for k, v in p.items() if k != "series"}
+            for p in phases
+        },
+        "scaling": scaling,
+        "equal_results": equal,
+        "chaos": chaos,
+        "ok": ok,
+    }
+
+
+def write_dist_report(
+    report: Dict[str, Any], path: Union[str, Path] = "BENCH_dist.json"
+) -> Path:
+    """Write the dist bench report as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,169 @@
+"""Remote sweep worker: ``repro worker --connect host:port``.
+
+A worker is one process that dials the coordinator, announces itself
+with a ``hello`` frame, and then loops: request a task (``steal``), run
+it through the same :func:`~repro.experiments.framework.run_resilient`
+discipline local backends use, and report the outcome with a ``result``
+frame.  A daemon thread heartbeats on the same channel so the
+coordinator can tell a slow worker from a dead one; artifact lookups go
+through the :class:`~repro.dist.cache_net.NetworkCache`, so a cold
+worker pulls warm blobs instead of rebuilding them.
+
+The worker is deliberately dumb: it holds no queue, no retry state
+beyond one point's attempts, and no result history.  Everything durable
+lives on the coordinator, which is what makes ``kill -9`` on a worker a
+non-event — its leases are requeued and the fleet carries on.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.dist.backend import CACHE_COUNTERS
+from repro.dist.cache_net import NetworkCache
+from repro.dist.protocol import FrameChannel, ProtocolError
+from repro.experiments import framework
+from repro.experiments.engine import Point, execute_point
+from repro.experiments.framework import run_resilient
+
+__all__ = ["parse_endpoint", "run_worker"]
+
+
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """Split a ``host:port`` endpoint string.
+
+    Args:
+        value: The ``--connect`` argument (e.g. ``127.0.0.1:7341``).
+
+    Returns:
+        ``(host, port)``.
+
+    Raises:
+        ValueError: When the string is not ``host:port`` with an
+            integer port.
+    """
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint must be host:port, got {value!r}")
+    return host, int(port)
+
+
+def _heartbeat_loop(
+    channel: FrameChannel,
+    worker_id: str,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    """Send liveness beacons until stopped or the channel dies.
+
+    Args:
+        channel: The worker's frame channel.
+        worker_id: This worker's id (echoed in each beacon).
+        interval: Seconds between beacons.
+        stop: Event ending the loop.
+    """
+    while not stop.wait(interval):
+        try:
+            channel.send({"kind": "heartbeat", "worker": worker_id})
+        except OSError:
+            return
+
+
+def run_worker(
+    connect: str,
+    worker_id: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    heartbeat: float = 2.0,
+    socket_timeout: float = 600.0,
+) -> int:
+    """Run the worker loop against a coordinator; returns an exit code.
+
+    Args:
+        connect: Coordinator endpoint as ``host:port``.
+        worker_id: Stable id for telemetry (default ``w-<pid>``).
+        cache_dir: Local artifact-cache directory (default: a
+            throwaway temporary directory — the network cache pulls
+            what it needs).
+        heartbeat: Seconds between liveness beacons.
+        socket_timeout: Per-recv socket timeout bounding a dead
+            coordinator.
+
+    Returns:
+        0 after a clean ``shutdown``; 1 when the coordinator vanished
+        or the stream desynchronised.
+    """
+    wid = worker_id or f"w-{os.getpid()}"
+    host, port = parse_endpoint(connect)
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        print(f"worker {wid}: cannot connect to {connect}: {exc}")
+        return 1
+    sock.settimeout(socket_timeout)
+    channel = FrameChannel(sock)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(channel, wid, heartbeat, stop),
+        daemon=True,
+    )
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-worker-cache-")
+        cache_dir = tmp.name
+    try:
+        channel.send({"kind": "hello", "worker": wid, "pid": os.getpid()})
+        beat.start()
+        cache = NetworkCache(cache_dir, channel)
+        framework.set_cache(cache)
+        while True:
+            reply, _ = channel.request({"kind": "steal", "worker": wid})
+            kind = reply.get("kind")
+            if kind == "shutdown":
+                channel.send({"kind": "goodbye", "worker": wid})
+                return 0
+            if kind == "idle":
+                time.sleep(float(reply.get("delay", 0.05)))
+                continue
+            if kind != "task":
+                raise ProtocolError(f"unexpected reply kind {kind!r}")
+            point = Point(
+                key=str(reply["key"]),
+                runner=str(reply["runner"]),
+                params=dict(reply.get("params", {})),
+            )
+            before = cache.stats.to_dict()
+            outcome = run_resilient(
+                lambda: execute_point(point, cache),
+                timeout=reply.get("timeout"),
+                retries=int(reply.get("retries", 2)),
+                backoff=float(reply.get("backoff", 0.05)),
+            )
+            after = cache.stats.to_dict()
+            delta = {
+                k: int(after[k]) - int(before[k]) for k in CACHE_COUNTERS
+            }
+            channel.send(
+                {
+                    "kind": "result",
+                    "worker": wid,
+                    "key": point.key,
+                    "outcome": outcome.to_dict(),
+                    "delta": delta,
+                    "net": cache.net_stats.to_dict(),
+                }
+            )
+    except (ProtocolError, OSError) as exc:
+        print(f"worker {wid}: coordinator lost: {exc}")
+        return 1
+    finally:
+        stop.set()
+        framework.set_cache(None)
+        channel.close()
+        if tmp is not None:
+            tmp.cleanup()

@@ -50,10 +50,11 @@ def _phase(
     jobs: int,
     cache_dir: str,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one bench phase and measure it; returns the phase record."""
     framework.clear_memos()
-    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir)
+    engine = ParallelEngine(jobs=jobs, cache_dir=cache_dir, backend=backend)
     start = time.perf_counter()
     result = run_figure(figure, scale, engine)
     seconds = time.perf_counter() - start
@@ -79,6 +80,7 @@ def run_bench(
     jobs: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Benchmark a figure sweep: jobs=1 vs jobs=N, cold vs warm cache.
 
@@ -90,6 +92,8 @@ def run_bench(
         cache_dir: Artifact-cache directory (required; the caller owns
             its lifetime — ``repro bench`` uses a temporary directory).
         progress: Optional per-phase status callback.
+        backend: Executor backend of the jobs=N phases (None keeps the
+            historical ``process`` fan-out).
 
     Returns:
         The benchmark report: per-phase wall-clock and cache counters,
@@ -108,10 +112,12 @@ def run_bench(
     phases.append(_phase("jobs1_warm", figure, scale, 1, cache_dir, progress))
     cache.clear()
     phases.append(
-        _phase("jobsN_cold", figure, scale, parallel_jobs, cache_dir, progress)
+        _phase("jobsN_cold", figure, scale, parallel_jobs, cache_dir,
+               progress, backend)
     )
     phases.append(
-        _phase("jobsN_warm", figure, scale, parallel_jobs, cache_dir, progress)
+        _phase("jobsN_warm", figure, scale, parallel_jobs, cache_dir,
+               progress, backend)
     )
     framework.clear_memos()
 
@@ -127,6 +133,7 @@ def run_bench(
         "figure": figure,
         "scale": scale,
         "parallel_jobs": parallel_jobs,
+        "backend": backend or "process",
         "generator_version": generator_version(),
         "python": platform.python_version(),
         "phases": {

@@ -5,7 +5,8 @@ sweep over (workload x policy x thread-unit count).  This module turns
 such a sweep into a list of pickle-safe :class:`Point` specs, runs each
 point through the hardened :func:`~repro.experiments.framework.run_resilient`
 wrapper — serially for ``jobs=1`` (bit-identical to the historical
-path), or across a ``ProcessPoolExecutor`` otherwise — and reassembles
+path), or through a pluggable executor :class:`~repro.dist.backend.Backend`
+(``process``, ``async-local``, ``remote``) otherwise — and reassembles
 results in deterministic input order regardless of completion order.
 
 Workers share the on-disk :class:`~repro.cache.ArtifactCache` when one
@@ -19,7 +20,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -31,7 +31,6 @@ from repro.experiments.framework import (
     FigureResult,
     ResilientOutcome,
     SweepCheckpoint,
-    run_resilient,
     resilient_sweep,
 )
 
@@ -118,11 +117,36 @@ def _runner_campaign(
     return _run_payload(spec, workload, rate, sequential, faultless)
 
 
+def _runner_sleep(
+    duration: float = 0.05,
+    fail: Optional[str] = None,
+    tag: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Deterministic low-cost workload for backend/scheduler testing.
+
+    Args:
+        duration: Seconds to sleep.
+        fail: ``"transient"`` raises ``RuntimeError`` after sleeping.
+        tag: Free-form marker echoed in the payload.
+
+    Returns:
+        ``{"slept": duration, "tag": tag}`` on success.
+    """
+    time.sleep(max(float(duration), 0.0))
+    if fail == "transient":
+        raise RuntimeError("injected transient failure")
+    return {"slept": float(duration), "tag": tag}
+
+
 #: runner name -> callable; points refer to runners by name so the spec
-#: stays picklable (no closures cross the process boundary).
+#: stays picklable (no closures cross the process boundary).  ``sleep``
+#: is the uncached, deterministic workload the distributed tests and
+#: benchmarks use (the serve daemon overrides it with a cancel-aware
+#: variant in its own registry).
 POINT_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "simulate": _runner_simulate,
     "campaign": _runner_campaign,
+    "sleep": _runner_sleep,
 }
 
 
@@ -144,48 +168,8 @@ def execute_point(point: Point, cache: Optional[ArtifactCache] = None) -> Any:
     )
 
 
-# ----------------------------------------------------------------------
-# Worker-process plumbing.
-# ----------------------------------------------------------------------
-
-_worker_cache: Optional[ArtifactCache] = None
-
-
-def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pool initializer: attach the shared artifact cache in the worker."""
-    global _worker_cache
-    _worker_cache = ArtifactCache(cache_dir) if cache_dir else None
-    framework.set_cache(_worker_cache)
-
-
-def _worker_run(
-    point: Point,
-    timeout: Optional[float],
-    retries: int,
-    backoff: float,
-) -> Tuple[str, Dict[str, Any], Dict[str, int]]:
-    """Execute one point resiliently in a worker; returns (key, outcome
-    dict, cache-stats delta) so the parent can aggregate hit rates."""
-    cache = _worker_cache
-    before = cache.stats.to_dict() if cache else None
-    outcome = run_resilient(
-        lambda: execute_point(point, cache),
-        timeout=timeout,
-        retries=retries,
-        backoff=backoff,
-    )
-    delta: Dict[str, int] = {}
-    if cache is not None and before is not None:
-        after = cache.stats.to_dict()
-        delta = {
-            k: after[k] - before[k]
-            for k in ("memory_hits", "disk_hits", "misses", "puts")
-        }
-    return point.key, outcome.to_dict(), delta
-
-
 class ParallelEngine:
-    """Fan experiment points across processes with resume and caching.
+    """Fan experiment points across an executor backend, with resume.
 
     Args:
         jobs: Worker count; ``None`` means ``os.cpu_count()``.  ``jobs=1``
@@ -198,11 +182,21 @@ class ParallelEngine:
         backoff: Base of the exponential retry backoff in seconds.
         telemetry_dir: When set, :meth:`run` writes one
             :class:`~repro.obs.manifest.RunManifest` per point (config
-            digest, seed, per-point cache delta, attempts, wall time)
-            plus a sweep-level rollup into this directory.
+            digest, seed, per-point cache delta, attempts, wall time,
+            executing worker) plus a sweep-level rollup into this
+            directory; an existing directory also seeds the
+            work-stealing scheduler's cost priors.
+        backend: Executor backend — a registry name (``serial``,
+            ``process``, ``async-local``, ``remote``) or a ready
+            :class:`~repro.dist.backend.Backend` instance.  ``None``
+            selects ``serial`` for ``jobs=1`` and ``process``
+            otherwise, matching the historical behaviour exactly.
+        workers: Parallelism the backend should use (default ``jobs``).
 
     After :meth:`run`, ``cache_events`` holds aggregated cache counters
-    (parent plus every worker) for the executed points.
+    (parent plus every worker) for the executed points, and ``fleet``
+    holds the backend's fleet summary (scheduler/cache counters; empty
+    for backends without one).
     """
 
     def __init__(
@@ -213,6 +207,8 @@ class ParallelEngine:
         retries: int = 2,
         backoff: float = 0.05,
         telemetry_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        backend: Optional[Any] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
@@ -225,15 +221,30 @@ class ParallelEngine:
         self.telemetry_dir = (
             os.fspath(telemetry_dir) if telemetry_dir else None
         )
+        self.backend = backend
+        self.workers = max(1, int(workers)) if workers else self.jobs
+        self.backend_name = self._resolve_backend_name()
         self.cache_events: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
             "misses": 0,
             "puts": 0,
         }
+        #: fleet summary of the last run (work-stealing/cache counters).
+        self.fleet: Dict[str, Any] = {}
         #: point key -> cache-counter delta of that point's execution
         #: (only points actually run this sweep; resumed points absent).
         self._point_deltas: Dict[str, Dict[str, int]] = {}
+        #: point key -> id of the worker that executed it.
+        self._worker_ids: Dict[str, str] = {}
+
+    def _resolve_backend_name(self) -> str:
+        """Return the effective backend name of this engine."""
+        if self.backend is None:
+            return "serial" if self.jobs == 1 else "process"
+        if isinstance(self.backend, str):
+            return self.backend
+        return getattr(self.backend, "name", "custom")
 
     # ------------------------------------------------------------------
 
@@ -269,10 +280,10 @@ class ParallelEngine:
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate point keys in sweep")
         started = time.perf_counter()
-        if self.jobs == 1:
+        if self.backend_name == "serial" and not self._backend_instance():
             results = self._run_serial(points, checkpoint, progress)
         else:
-            results = self._run_parallel(points, checkpoint, progress)
+            results = self._run_dispatch(points, checkpoint, progress)
         if self.telemetry_dir is not None:
             self._write_telemetry(
                 points, results, time.perf_counter() - started
@@ -321,7 +332,25 @@ class ParallelEngine:
             )
         return results
 
-    def _run_parallel(self, points, checkpoint, progress):
+    def _backend_instance(self):
+        """Return the backend when one was passed as an instance, else None."""
+        if self.backend is not None and not isinstance(self.backend, str):
+            return self.backend
+        return None
+
+    def _run_dispatch(self, points, checkpoint, progress):
+        """Execute the sweep through an executor backend.
+
+        Resumed checkpoint keys are emitted first (as the historical
+        parallel path did); the remaining to-do points go to the
+        backend, whose serialized ``emit`` calls land results,
+        checkpoint records, cache deltas and worker attribution.
+        """
+        from repro.dist.backend import ExecutionPlan, create_backend
+
+        backend = self._backend_instance() or create_backend(
+            self.backend_name
+        )
         results: Dict[str, ResilientOutcome] = {}
         todo: List[Point] = []
         for point in points:
@@ -333,28 +362,41 @@ class ParallelEngine:
             else:
                 todo.append(point)
         if todo:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(todo)),
-                initializer=_worker_init,
-                initargs=(self.cache_dir,),
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _worker_run, point, self.timeout, self.retries, self.backoff
-                    ): point
-                    for point in todo
-                }
-                for future in as_completed(futures):
-                    key, outcome_dict, delta = future.result()
-                    outcome = ResilientOutcome.from_dict(outcome_dict)
-                    results[key] = outcome
-                    self._note_cache_delta(delta)
-                    if delta:
-                        self._point_deltas[key] = delta
-                    if checkpoint is not None:
-                        checkpoint.record(key, outcome)
-                    if progress is not None:
-                        progress(key, outcome, False)
+            plan = ExecutionPlan(
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.backoff,
+                workers=min(self.workers, len(todo)),
+                cache_dir=self.cache_dir,
+                cache=self.cache,
+                telemetry_dir=self.telemetry_dir,
+            )
+
+            def emit(
+                key: str,
+                outcome_dict: Dict[str, Any],
+                delta: Dict[str, int],
+                worker_id: str,
+            ) -> None:
+                outcome = ResilientOutcome.from_dict(outcome_dict)
+                results[key] = outcome
+                self._note_cache_delta(delta)
+                if delta:
+                    self._point_deltas[key] = delta
+                self._worker_ids[key] = worker_id
+                if checkpoint is not None:
+                    checkpoint.record(key, outcome)
+                if progress is not None:
+                    progress(key, outcome, False)
+
+            backend.execute(todo, plan, emit)
+            self.fleet = backend.fleet_summary()
+        missing = [p.key for p in todo if p.key not in results]
+        if missing:
+            raise RuntimeError(
+                f"backend {self.backend_name!r} never emitted "
+                f"{len(missing)} points (first: {missing[0]!r})"
+            )
         return {point.key: results[point.key] for point in points}
 
     # ------------------------------------------------------------------
@@ -375,6 +417,7 @@ class ParallelEngine:
             if outcome is None:
                 continue
             seed, fault_plan = _point_provenance(point)
+            worker_id = self._worker_ids.get(point.key)
             RunManifest(
                 name=point.key,
                 config={"runner": point.runner, **point.params},
@@ -384,7 +427,14 @@ class ParallelEngine:
                 ok=outcome.ok,
                 cache=self._point_deltas.get(point.key, {}),
                 fault_plan=fault_plan,
+                extra={"worker_id": worker_id} if worker_id else {},
             ).write(self.telemetry_dir)
+        extra: Dict[str, Any] = {
+            "ok": sum(1 for o in results.values() if o.ok),
+            "failed": sum(1 for o in results.values() if not o.ok),
+        }
+        if self.fleet:
+            extra["fleet"] = dict(self.fleet)
         write_sweep_manifest(
             self.telemetry_dir,
             name="sweep",
@@ -394,13 +444,12 @@ class ParallelEngine:
                 "timeout": self.timeout,
                 "retries": self.retries,
                 "cache_dir": self.cache_dir,
+                "backend": self.backend_name,
+                "workers": self.workers,
             },
             seconds=seconds,
             cache=dict(self.cache_events),
-            extra={
-                "ok": sum(1 for o in results.values() if o.ok),
-                "failed": sum(1 for o in results.values() if not o.ok),
-            },
+            extra=extra,
         )
 
 

@@ -271,6 +271,8 @@ def run_campaign(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Execute a campaign, resuming completed runs from ``checkpoint``.
 
@@ -291,6 +293,10 @@ def run_campaign(
             (config digest, derived fault seed, attempts, wall time)
             plus a campaign rollup into this directory — identically
             for the serial and the parallel path.
+        backend: Executor backend name forwarded to the engine
+            (``serial``/``process``/``async-local``/``remote``); None
+            keeps the historical jobs-based selection.
+        workers: Backend parallelism (default: ``jobs``).
 
     Returns:
         The populated :class:`CampaignResult` (gates not yet evaluated;
@@ -308,6 +314,8 @@ def run_campaign(
         timeout=spec.timeout,
         retries=spec.retries,
         backoff=spec.backoff,
+        backend=backend,
+        workers=workers,
     )
 
     with framework.use_cache(engine.cache):
@@ -336,7 +344,7 @@ def run_campaign(
             )
             progress(f"{key}: {status}{retry}")
 
-    if jobs == 1:
+    if jobs == 1 and backend is None:
         # Historical serial path: closures over the crash budget, run
         # through ``resilient_sweep`` in submission order.
         tasks: Dict[str, Callable[[], Any]] = {}

@@ -1,0 +1,126 @@
+"""Executor-backend tests: serial/process/async-local equivalence.
+
+The contract under test: whatever order a backend dispatches (or
+steals) the points in, the result map is identical to the serial
+reference — same keys, same input order, same outcome values.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.backend import (
+    AsyncLocalBackend,
+    ProcessBackend,
+    SerialBackend,
+    backend_names,
+    create_backend,
+)
+from repro.experiments.engine import ParallelEngine, Point
+from repro.experiments.framework import SweepCheckpoint
+
+BACKENDS = ("serial", "process", "async-local")
+
+
+def _sleep_points(durations, fail_at=()):
+    """A heterogeneous sleep grid: one point per duration."""
+    return [
+        Point(
+            key=f"p{i:02d}",
+            runner="sleep",
+            params={
+                "duration": float(d),
+                "tag": f"p{i:02d}",
+                "fail": "transient" if i in fail_at else None,
+            },
+        )
+        for i, d in enumerate(durations)
+    ]
+
+
+def _run(backend, points, workers=3):
+    engine = ParallelEngine(jobs=workers, backend=backend, retries=0)
+    results = engine.run(points)
+    return {key: (o.ok, o.value) for key, o in results.items()}, engine
+
+
+def test_backends_equal_on_twelve_point_grid():
+    # Twelve points with uneven costs so the stealers actually steal.
+    durations = [0.002 * ((i * 7) % 5) for i in range(12)]
+    points = _sleep_points(durations, fail_at=(5,))
+    reference, _ = _run("serial", points, workers=1)
+    for name in ("process", "async-local"):
+        outcomes, engine = _run(name, points)
+        assert outcomes == reference, name
+        # Deterministic input order regardless of completion order.
+        assert list(outcomes) == [p.key for p in points], name
+        assert engine.backend_name == name
+
+
+def test_failures_travel_inside_outcomes():
+    points = _sleep_points([0.0, 0.0], fail_at=(1,))
+    for name in BACKENDS:
+        outcomes, _ = _run(name, points)
+        assert outcomes["p00"][0] is True
+        assert outcomes["p01"][0] is False, name  # failed, not raised
+
+
+def test_async_local_reports_fleet_dispatch():
+    points = _sleep_points([0.001] * 8)
+    _, engine = _run("async-local", points, workers=2)
+    fleet = engine.fleet
+    assert fleet["tasks"] == 8
+    assert fleet["completed"] == 8
+    assert fleet["lost"] == 0
+    assert sum(fleet["dispatched"].values()) == 8
+
+
+def test_checkpoint_prefilter_skips_completed_points():
+    points = _sleep_points([0.001] * 6)
+    engine = ParallelEngine(jobs=2, backend="async-local")
+    first = engine.run(points[:4])
+    assert all(o.ok for o in first.values())
+
+
+def test_checkpoint_resume_only_runs_todo(tmp_path):
+    points = _sleep_points([0.001] * 6)
+    checkpoint = SweepCheckpoint(tmp_path / "sweep.json")
+    engine = ParallelEngine(jobs=2, backend="async-local")
+    engine.run(points[:4], checkpoint=checkpoint)
+    resumed = ParallelEngine(jobs=2, backend="async-local")
+    outcomes = resumed.run(points, checkpoint=checkpoint)
+    assert list(outcomes) == [p.key for p in points]
+    # Only the two new points reached the backend.
+    assert resumed.fleet["tasks"] == 2
+
+
+def test_backend_registry():
+    assert set(backend_names()) == {
+        "serial", "process", "async-local", "remote"
+    }
+    assert isinstance(create_backend("serial"), SerialBackend)
+    assert isinstance(create_backend("process"), ProcessBackend)
+    assert isinstance(create_backend("async-local"), AsyncLocalBackend)
+    with pytest.raises(KeyError):
+        create_backend("carrier-pigeon")
+    with pytest.raises(TypeError):
+        create_backend("process", workers=3)
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=0.004),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=5, deadline=None)
+def test_property_stealing_order_never_changes_results(durations):
+    """Random heterogeneous grids: the work-stealing backend's result
+    map equals the serial reference bit-for-bit."""
+    points = _sleep_points(durations)
+    reference, _ = _run("serial", points, workers=1)
+    stolen, engine = _run("async-local", points, workers=3)
+    assert stolen == reference
+    assert list(stolen) == [p.key for p in points]
+    assert engine.fleet["lost"] == 0

@@ -1,0 +1,190 @@
+"""Network-cache tests: digest-verified pull/push and degradation.
+
+Each test runs a tiny in-thread fake coordinator on one end of a
+``socketpair`` so the :class:`NetworkCache` under test speaks the real
+frame protocol end to end.
+"""
+
+import json
+import socket
+import threading
+
+from repro.cache import ArtifactCache
+from repro.dist.cache_net import NetworkCache
+from repro.dist.protocol import FrameChannel, blob_digest
+
+
+class FakeCoordinator:
+    """Serves ``cache_pull``/``cache_push`` from a real ArtifactCache."""
+
+    def __init__(self, sock, cache, tamper=False):
+        self.channel = FrameChannel(sock)
+        self.cache = cache
+        self.tamper = tamper
+        self.pulls = []
+        self.pushes = []
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        try:
+            while True:
+                header, blob = self.channel.recv()
+                kind = header["kind"]
+                if kind == "cache_pull":
+                    self.pulls.append(header["cache_key"])
+                    stored = self.cache.read_blob(
+                        header["cache_kind"], header["cache_key"]
+                    )
+                    if stored is None:
+                        self.channel.send(
+                            {
+                                "kind": "cache_blob",
+                                "hit": False,
+                                "seq": header["seq"],
+                            }
+                        )
+                        continue
+                    digest = blob_digest(stored)
+                    if self.tamper:
+                        stored = stored[:-1] + b"!"
+                    self.channel.send(
+                        {
+                            "kind": "cache_blob",
+                            "hit": True,
+                            "digest": digest,
+                            "seq": header["seq"],
+                        },
+                        stored,
+                    )
+                elif kind == "cache_push":
+                    assert blob is not None
+                    assert blob_digest(blob) == header["digest"]
+                    self.pushes.append(header["cache_key"])
+                    self.cache.write_blob(
+                        header["cache_kind"], header["cache_key"], blob
+                    )
+                    self.channel.send(
+                        {"kind": "cache_ok", "ok": True, "seq": header["seq"]}
+                    )
+                else:  # pragma: no cover - protocol misuse
+                    raise AssertionError(f"unexpected frame {kind!r}")
+        except Exception:
+            pass
+
+    def close(self):
+        self.channel.close()
+        self.thread.join(timeout=5.0)
+
+
+def _rig(tmp_path, tamper=False):
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    shared = ArtifactCache(tmp_path / "shared")
+    coordinator = FakeCoordinator(right, shared, tamper=tamper)
+    local = NetworkCache(tmp_path / "local", FrameChannel(left))
+    return local, shared, coordinator
+
+
+def test_pull_hits_shared_cache_without_building(tmp_path):
+    local, shared, coordinator = _rig(tmp_path)
+    try:
+        payload = {"cycles": 123}
+        key = shared.key("point", runner="simulate", name="x")
+        shared.store("point", key, payload)
+
+        def must_not_build():
+            raise AssertionError("built despite a shared-cache hit")
+
+        value = local.get_or_create(
+            "point", must_not_build, runner="simulate", name="x"
+        )
+        assert value == payload
+        assert local.net_stats.pulls == 1
+        assert local.net_stats.rejected == 0
+        assert local.net_stats.bytes_pulled > 0
+        # The blob landed locally: the next lookup never hits the wire.
+        assert local.lookup("point", key) == payload
+    finally:
+        coordinator.close()
+
+
+def test_miss_builds_locally_and_pushes(tmp_path):
+    local, shared, coordinator = _rig(tmp_path)
+    try:
+        value = local.get_or_create(
+            "point", lambda: {"cycles": 7}, runner="simulate", name="y"
+        )
+        assert value == {"cycles": 7}
+        assert local.net_stats.probe_misses == 1
+        assert local.net_stats.pushes == 1
+        # The push made the blob visible to the whole fleet.
+        key = shared.key("point", runner="simulate", name="y")
+        assert json.loads(shared.read_blob("point", key)) == {"cycles": 7}
+    finally:
+        coordinator.close()
+
+
+def test_tampered_blob_rejected_and_rebuilt(tmp_path):
+    local, shared, coordinator = _rig(tmp_path, tamper=True)
+    try:
+        key = shared.key("point", runner="simulate", name="z")
+        shared.store("point", key, {"cycles": 9})
+        built = []
+
+        def build():
+            built.append(True)
+            return {"cycles": 9}
+
+        value = local.get_or_create(
+            "point", build, runner="simulate", name="z"
+        )
+        assert value == {"cycles": 9}
+        assert built == [True]  # the pull was discarded, built locally
+        assert local.net_stats.rejected == 1
+        assert local.net_stats.pulls == 0
+    finally:
+        coordinator.close()
+
+
+def test_channel_failure_degrades_to_local_only(tmp_path):
+    local, shared, coordinator = _rig(tmp_path)
+    coordinator.close()  # the coordinator is gone mid-sweep
+    value = local.get_or_create(
+        "point", lambda: {"cycles": 1}, runner="simulate", name="w"
+    )
+    assert value == {"cycles": 1}
+    # Degraded but alive: later calls stay local and never raise.
+    again = local.get_or_create(
+        "point", lambda: {"cycles": 1}, runner="simulate", name="w"
+    )
+    assert again == {"cycles": 1}
+    assert local.stats.misses == 1  # second call was a local hit
+
+
+def test_round_trip_push_then_pull_between_workers(tmp_path):
+    first, shared, coordinator = _rig(tmp_path)
+    try:
+        first.get_or_create(
+            "point", lambda: {"cycles": 42}, runner="simulate", name="rt"
+        )
+    finally:
+        coordinator.close()
+    # A second cold worker pulls what the first worker pushed.
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    coordinator2 = FakeCoordinator(right, shared)
+    second = NetworkCache(tmp_path / "local2", FrameChannel(left))
+    try:
+        value = second.get_or_create(
+            "point",
+            lambda: (_ for _ in ()).throw(AssertionError("rebuilt")),
+            runner="simulate",
+            name="rt",
+        )
+        assert value == {"cycles": 42}
+        assert second.net_stats.pulls == 1
+    finally:
+        coordinator2.close()
