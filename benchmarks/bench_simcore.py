@@ -1,16 +1,17 @@
 """Simulator-core benchmark — the BENCH_simcore.json source.
 
-Measures the columnar hot-loop core against the legacy dict-based core:
-cold vs warm columnar-trace builds through the artifact cache, the
-equal-stats grid (every workload × pair scheme × value predictor must
-be bit-identical across cores), and a cold Figure-8 sweep (jobs=1,
-warm traces and pairs) timed under each core.  The CLI equivalent,
-which CI runs and archives, is::
+Measures the columnar and event-driven cores against the legacy
+dict-based core: cold vs warm columnar-trace builds through the
+artifact cache, the equal-stats grid (every workload × pair scheme ×
+value predictor, plus one deterministic fault-injected point, must be
+bit-identical across all three cores), and a cold paper-grid sweep
+(jobs=1, warm traces and pairs) timed under each core.  The CLI
+equivalent, which CI runs and archives, is::
 
-    python -m repro bench --smoke --jobs 2
+    python -m repro bench --skip-parallel
 
-Run directly with ``pytest benchmarks/bench_simcore.py``.  The ≥2×
-speed-up gate applies at this module's scale (the committed
+Run directly with ``pytest benchmarks/bench_simcore.py``.  The ≥4×
+event-core speed-up gate applies at this module's scale (the committed
 ``BENCH_simcore.json`` scale); ``--smoke`` CLI runs only enforce the
 correctness and cache gates.
 """
@@ -21,10 +22,10 @@ from repro.experiments.bench import (
     write_simcore_report,
 )
 
-#: The committed-report scale (matches BENCH_SCALE of the figure
-#: harness): large enough that the hot loop, not fixed setup costs,
-#: dominates the sweep timing.
-SIMCORE_SCALE = 0.3
+#: The committed-report scale: the full paper grid, large enough that
+#: the hot loop, not fixed setup costs, dominates the sweep timing
+#: (the speed-up gate is only meaningful at full scale).
+SIMCORE_SCALE = 1.0
 
 
 def test_simcore_bench_gates(tmp_path):
@@ -34,12 +35,17 @@ def test_simcore_bench_gates(tmp_path):
         enforce_speedup=True,
     )
 
-    # Correctness: the cores agree on every grid point and sweep series.
+    # Correctness: the cores agree on every grid point (including the
+    # fault-injected leg) and on every sweep series.
+    assert report["cores"] == ["legacy", "columnar", "event"]
     assert report["equal_results"], report["equal_stats"]["mismatches"]
-    assert report["equal_stats"]["points"] == (
+    eq = report["equal_stats"]
+    assert eq["fault_injected_points"] >= 1
+    assert eq["points"] == (
         len(report["workloads"])
         * len(report["policies"])
         * len(report["predictors"])
+        + eq["fault_injected_points"]
     )
 
     # Cache: a warm columnar build is served entirely from the cache.
@@ -48,9 +54,12 @@ def test_simcore_bench_gates(tmp_path):
     assert cache["warm"]["misses"] == 0
     assert cache["warm_hit_rate"] == 1.0
 
-    # Throughput: the columnar core clears the speed-up target cold.
+    # Throughput: the event core clears the speed-up target cold, and
+    # both rewrites beat the legacy core.
     sweep = report["sweep"]
+    assert set(sweep["speedups"]) == {"columnar", "event"}
     assert sweep["speedup"] >= SIMCORE_SPEEDUP_TARGET, sweep
+    assert sweep["event"]["insts_per_sec"] > sweep["legacy"]["insts_per_sec"]
     assert sweep["columnar"]["insts_per_sec"] > sweep["legacy"]["insts_per_sec"]
     assert report["ok"]
 

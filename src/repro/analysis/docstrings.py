@@ -38,6 +38,7 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "repro.spawning",
     "repro.faults",
     "repro.cmt.config",
+    "repro.cmt.event_core",
     "repro.cache",
     "repro.analysis",
     "repro.serve",

@@ -115,9 +115,11 @@ class ProcessorConfig:
 
     # --- implementation selection (never changes results) ---
     #: Simulator core implementation: "columnar" (default — struct-of-
-    #: arrays trace columns and ring-buffer issue booking) or "legacy"
-    #: (the original object-graph core, kept as the bit-identical
-    #: reference for the equal-stats gate and BENCH_simcore).
+    #: arrays trace columns and ring-buffer issue booking), "event"
+    #: (columnar data path plus a batched event loop with a wakeup heap
+    #: that jumps the clock over dead cycles), or "legacy" (the original
+    #: object-graph core, kept as the bit-identical reference for the
+    #: equal-stats gate and BENCH_simcore).
     sim_core: str = "columnar"
 
     def __post_init__(self) -> None:
@@ -151,7 +153,7 @@ class ProcessorConfig:
             raise ValueError("livelock_threshold must be >= 1 when set")
         if self.fault_restart_penalty < 0:
             raise ValueError("fault_restart_penalty cannot be negative")
-        if self.sim_core not in ("columnar", "legacy"):
+        if self.sim_core not in ("columnar", "legacy", "event"):
             raise ValueError(f"unknown sim_core {self.sim_core!r}")
 
     def with_(self, **overrides) -> "ProcessorConfig":

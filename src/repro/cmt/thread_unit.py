@@ -10,7 +10,9 @@ Issue/FU bandwidth is tracked two ways:
   ``cycle -> count`` / ``(fu, cycle) -> count`` dictionaries (the
   reference core).
 - :meth:`book_issue` / :meth:`book_issue_idx` use fixed-size ring
-  buffers over a sliding cycle window (the columnar core's hot path):
+  buffers over a sliding cycle window (the columnar and event cores'
+  hot path — fault-injected runs included, since booking floors stay
+  monotone across blackout restarts and spawn-retry delays):
   per probed cycle the ring slot is ``cycle % window`` and a stamp
   records which cycle the slot's count belongs to, so stale slots cost
   nothing to reclaim.  Bookings beyond the window spill into small
@@ -193,10 +195,14 @@ class ThreadUnit:
     def book_issue_idx_dict(self, earliest: int, fu_idx: int) -> int:
         """Dict-backed booking over the FU ordinal.
 
-        The columnar core uses this instead of the ring tracker when a
-        fault injector is attached: spawn-retry delays and blackout
-        squashes can make a unit's booking floor regress, which violates
-        the monotone-window precondition of :meth:`book_issue_idx`.
+        Kept as the reference twin of :meth:`book_issue_idx` (and as an
+        escape hatch via ``ClusteredProcessor._use_rings``).  The
+        columnar core used to fall back to it under fault injection;
+        booking floors are monotone there too — a restarted or folded
+        thread's probes are bounded below by its unit's ``free_at``,
+        which dominates every floor previously booked on the unit — so
+        all columnar-family runs now book through the rings and the
+        injector equal-stats tests compare the two trackers.
         """
         return self.book_issue_legacy(earliest, FU_CLASSES[fu_idx])
 

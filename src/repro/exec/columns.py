@@ -17,6 +17,7 @@ safe to persist content-addressed in the artifact cache (kind
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from typing import TYPE_CHECKING, List, Tuple
 
 from repro.isa.instructions import FU_INDEX, Opcode, fu_class, latency_of
@@ -77,7 +78,12 @@ class TraceColumns:
       destination) — read only at producer positions.
     """
 
-    __slots__ = _FIELDS + ("length",)
+    __slots__ = _FIELDS + (
+        "length",
+        "_livein_index",
+        "_livein_windows",
+        "_prime_cache",
+    )
 
     def __init__(
         self,
@@ -103,6 +109,11 @@ class TraceColumns:
         self.dst_nz = dst_nz
         self.dst_value = dst_value
         self.length = len(pc)
+        self._livein_index = None
+        self._livein_windows: dict = {}
+        #: (pair signature, prime params) -> value-predictor training
+        #: sequence (see ``ClusteredProcessor._prime_predictor_cols``).
+        self._prime_cache: dict = {}
 
     # -- construction ---------------------------------------------------
 
@@ -167,6 +178,82 @@ class TraceColumns:
             dst_value=dst_value,
         )
 
+    # -- derived indexes ------------------------------------------------
+
+    def livein_index(self):
+        """Per-register position index for the oracle live-in scans.
+
+        Returns ``(reads_of, writes_of, used_regs)``: for each register,
+        the ascending trace positions where it is read (per
+        ``scan_reads``) and written (per ``dst_nz``), plus the ascending
+        list of registers with at least one recorded read.  With it, the
+        live-in set of a window ``[start, end)`` reduces to two bisects
+        per register — whether the first in-window read of ``r`` precedes
+        its first in-window write — instead of a scan over the window.
+        Built lazily on first use and memoized; derived data, so it is
+        not persisted with the columns (``__getstate__`` skips it).
+        """
+        index = self._livein_index
+        if index is None:
+            reads_of: List["array"] = [array("q") for _ in range(64)]
+            writes_of: List["array"] = [array("q") for _ in range(64)]
+            for pos, reads in enumerate(self.scan_reads):
+                for reg, _producer in reads:
+                    reads_of[reg].append(pos)
+            for pos, dst in enumerate(self.dst_nz):
+                if dst >= 0:
+                    writes_of[dst].append(pos)
+            used_regs = tuple(
+                reg for reg in range(64) if len(reads_of[reg])
+            )
+            index = self._livein_index = (reads_of, writes_of, used_regs)
+        return index
+
+    def livein_window(self, start: int, end: int):
+        """Live-in ``(reg, producer)`` pairs of ``[start, end)``.
+
+        A register is live-in when its first in-window read precedes its
+        first in-window write (a read at the writing instruction still
+        reads the old value); its producer is the last write strictly
+        before ``start`` (-1 if never written).  Pairs come in
+        first-read source order, ties broken by operand rank within the
+        instruction — the discovery order of a linear window scan, which
+        live-in prediction replays into order-sensitive predictor state.
+        A pure function of the window, so results are memoized: spawn
+        windows repeat heavily across repeated simulations of one trace.
+        """
+        memo = self._livein_windows
+        window = memo.get((start, end))
+        if window is not None:
+            return window
+        reads_of, writes_of, used_regs = self.livein_index()
+        scan_reads = self.scan_reads
+        last = end - 1
+        found = []
+        for reg in used_regs:
+            positions = reads_of[reg]
+            index = bisect_left(positions, start)
+            if index == len(positions):
+                continue
+            first_read = positions[index]
+            if first_read > last:
+                continue
+            writes = writes_of[reg]
+            windex = bisect_left(writes, start)
+            if windex < len(writes) and first_read > writes[windex]:
+                continue
+            producer = writes[windex - 1] if windex else -1
+            rank = 0
+            for i, read in enumerate(scan_reads[first_read]):
+                if read[0] == reg:
+                    rank = i
+                    break
+            found.append((first_read, rank, reg, producer))
+        found.sort()
+        window = tuple((item[2], item[3]) for item in found)
+        memo[(start, end)] = window
+        return window
+
     # -- protocol -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -193,6 +280,9 @@ class TraceColumns:
         for name, value in zip(_FIELDS, state):
             setattr(self, name, value)
         self.length = len(self.pc)
+        self._livein_index = None
+        self._livein_windows = {}
+        self._prime_cache = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceColumns(length={self.length})"

@@ -58,7 +58,11 @@ class Machine:
         pc = self.pc
         inst = self.program[pc]
         op = inst.op
-        src_values = tuple(self._read(reg) for reg in inst.srcs)
+        # Register 0 is hard-wired to zero (``_write`` never touches it),
+        # so the reads need no special case — this is the interpreter's
+        # hottest expression at paper-scale trace lengths.
+        regs = self.regs
+        src_values = tuple([regs[reg] for reg in inst.srcs])
         dst_value = None
         addr = None
         taken: Optional[bool] = None
@@ -183,8 +187,10 @@ class Machine:
         if max_steps is None:
             max_steps = DEFAULT_MAX_STEPS
         insts: List[DynInst] = []
+        append = insts.append
+        step = self.step
         for _ in range(max_steps):
-            insts.append(self.step())
+            append(step())
             if self.halted:
                 return Trace(self.program, insts)
         raise WorkloadError(

@@ -7,16 +7,19 @@ and cache hit rates, and verifying that every phase produced identical
 figure series.  The report seeds the repository's performance
 trajectory as ``BENCH_parallel.json``.
 
-:func:`run_simcore_bench` benchmarks the simulator core itself: it
+:func:`run_simcore_bench` benchmarks the simulator cores themselves: it
 measures cold/warm columnar-trace builds through the artifact cache,
-checks the columnar core against the legacy dict-based core for
-bit-identical stats across the whole workload × policy × predictor
-grid, and times a cold Figure-8 sweep (jobs=1, warm traces and pairs)
-under each core.  The report is ``BENCH_simcore.json``; its gates are
-``equal_results`` (the cores agree everywhere) and
-``columns_cache.warm_hit_rate == 1.0`` (a warm build never recomputes
-columns), with the cold-sweep speed-up checked against
-:data:`SIMCORE_SPEEDUP_TARGET` on full-scale runs.
+checks the columnar and event cores against the legacy dict-based core
+for bit-identical stats across the whole workload × policy × predictor
+grid (plus a deterministic fault-injected leg), and times the full
+paper grid — every workload under both spawning policies and all of
+:data:`SIMCORE_PREDICTORS`, with single-threaded baselines — under
+each core (jobs=1, warm traces and pairs).  The report is
+``BENCH_simcore.json``; its gates are ``equal_results`` (the cores
+agree everywhere) and ``columns_cache.warm_hit_rate == 1.0`` (a warm
+build never recomputes columns), with the event core's cold-sweep
+speed-up over legacy checked against :data:`SIMCORE_SPEEDUP_TARGET`
+on full-scale runs.
 
 In-process memos are cleared between phases so the numbers measure the
 on-disk artifact cache, not Python dict lookups.
@@ -160,9 +163,12 @@ def write_bench_report(
 # Simulator-core benchmark (BENCH_simcore.json).
 # ----------------------------------------------------------------------
 
-#: Minimum cold-sweep speed-up (legacy seconds / columnar seconds) the
+#: Minimum cold-sweep speed-up (legacy seconds / event seconds) the
 #: full-scale benchmark must demonstrate.
-SIMCORE_SPEEDUP_TARGET = 2.0
+SIMCORE_SPEEDUP_TARGET = 4.0
+
+#: Simulator cores under test, reference core first.
+SIMCORE_CORES = ("legacy", "columnar", "event")
 
 #: Spawning policies of the equal-stats grid (the two pair schemes the
 #: paper compares).
@@ -217,39 +223,69 @@ def _equal_stats_phase(
     names: List[str],
     progress: Optional[Callable[[str], None]],
 ) -> Dict[str, Any]:
-    """Legacy vs columnar bit-identical stats across the whole grid."""
+    """Every core vs legacy: bit-identical stats across the whole grid.
+
+    Besides the healthy workload × policy × predictor grid, one
+    deterministic fault-injected point (TU blackouts) pins the cores'
+    agreement on the injector leg, where the event core degrades to
+    poll parking and all columnar-family runs book through the issue
+    rings.
+    """
     from repro.cmt import simulate
+    from repro.faults import FaultInjector, FaultPlan, TUBlackoutFault
 
     base = framework.EXPERIMENT_CONFIG
     points = 0
     mismatches: List[str] = []
+
+    def compare(label, trace, pairs, config, plan=None):
+        nonlocal points
+        reference = None
+        for core in SIMCORE_CORES:
+            injector = FaultInjector(plan) if plan is not None else None
+            stats = simulate(
+                trace, pairs, config.with_(sim_core=core), injector
+            ).to_dict()
+            if reference is None:
+                reference = stats
+            elif stats != reference:
+                mismatches.append(f"{label}/{core}")
+        points += 1
+
     for name in names:
         trace = framework.trace_for(name, scale)
         for policy in SIMCORE_POLICIES:
             pairs = framework.pair_set_for(name, policy, scale)
             for predictor in SIMCORE_PREDICTORS:
-                legacy = simulate(
+                compare(
+                    f"{name}/{policy}/{predictor}",
                     trace,
                     pairs,
-                    base.with_(value_predictor=predictor, sim_core="legacy"),
-                ).to_dict()
-                columnar = simulate(
-                    trace,
-                    pairs,
-                    base.with_(value_predictor=predictor, sim_core="columnar"),
-                ).to_dict()
-                points += 1
-                if legacy != columnar:
-                    mismatches.append(f"{name}/{policy}/{predictor}")
+                    base.with_(value_predictor=predictor),
+                )
+    fault_name = names[0]
+    plan = FaultPlan(
+        seed=7,
+        tu_blackout=TUBlackoutFault(rate=0.5, duration=120, slot_cycles=200),
+    )
+    compare(
+        f"{fault_name}/profile/stride/faults",
+        framework.trace_for(fault_name, scale),
+        framework.pair_set_for(fault_name, "profile", scale),
+        base.with_(value_predictor="stride"),
+        plan=plan,
+    )
     record = {
         "points": points,
+        "cores": list(SIMCORE_CORES),
+        "fault_injected_points": 1,
         "mismatches": mismatches,
         "equal_results": not mismatches,
     }
     if progress is not None:
         progress(
-            f"equal-stats grid: {points} points, "
-            f"{len(mismatches)} mismatch(es)"
+            f"equal-stats grid: {points} points x {len(SIMCORE_CORES)} "
+            f"cores, {len(mismatches)} mismatch(es)"
         )
     return record
 
@@ -260,11 +296,14 @@ def _sweep_phase(
     progress: Optional[Callable[[str], None]],
     repeats: int = 2,
 ) -> Dict[str, Any]:
-    """Cold Figure-8 sweep (jobs=1) under each core, warm trace/pairs.
+    """Cold paper-grid sweep (jobs=1) under each core, warm trace/pairs.
 
-    Each core's sweep runs ``repeats`` times and reports the fastest
-    pass (the standard defence against one-off scheduler/allocator
-    noise on shared machines); every pass must produce the same series.
+    The grid is every workload under both spawning policies and every
+    predictor in :data:`SIMCORE_PREDICTORS`, plus one single-threaded
+    baseline per workload.  Each core's sweep runs ``repeats`` times
+    and reports the fastest pass (the standard defence against one-off
+    scheduler/allocator noise on shared machines); every pass must
+    produce the same series.
     """
     from repro.cmt import simulate
     from repro.spawning import SpawnPairSet
@@ -279,12 +318,12 @@ def _sweep_phase(
     }
     base = framework.EXPERIMENT_CONFIG
     cores: Dict[str, Dict[str, Any]] = {}
-    for core in ("legacy", "columnar"):
+    for core in SIMCORE_CORES:
         config = base.with_(sim_core=core)
         single = config.single_threaded()
         runs: List[float] = []
         instructions = 0
-        series: Dict[str, Dict[str, int]] = {}
+        series: Dict[str, Dict[str, Any]] = {}
         for _ in range(max(repeats, 1)):
             instructions = 0
             series = {}
@@ -292,17 +331,23 @@ def _sweep_phase(
             for name in names:
                 baseline = simulate(traces[name], SpawnPairSet([]), single)
                 instructions += baseline.instructions
-                row = {"baseline": baseline.cycles}
+                row: Dict[str, Any] = {"baseline": baseline.cycles}
                 for policy in SIMCORE_POLICIES:
-                    stats = simulate(
-                        traces[name], pair_sets[(name, policy)], config
-                    )
-                    instructions += stats.instructions
-                    row[policy] = stats.cycles
+                    cells = {}
+                    for predictor in SIMCORE_PREDICTORS:
+                        stats = simulate(
+                            traces[name],
+                            pair_sets[(name, policy)],
+                            config.with_(value_predictor=predictor),
+                        )
+                        instructions += stats.instructions
+                        cells[predictor] = stats.cycles
+                    row[policy] = cells
                 series[name] = row
             runs.append(time.perf_counter() - start)
         seconds = min(runs)
         cores[core] = {
+            "sim_core": core,
             "seconds": round(seconds, 4),
             "runs": [round(s, 4) for s in runs],
             "instructions": instructions,
@@ -314,23 +359,32 @@ def _sweep_phase(
                 f"sweep [{core}]: {seconds:.2f}s best of {len(runs)} "
                 f"({cores[core]['insts_per_sec']:,} insts/sec)"
             )
-    columnar_seconds = cores["columnar"]["seconds"]
-    speedup = (
-        round(cores["legacy"]["seconds"] / columnar_seconds, 3)
-        if columnar_seconds
-        else float("inf")
-    )
-    equal_series = cores["legacy"]["series"] == cores["columnar"]["series"]
-    record = {
-        "legacy": {k: v for k, v in cores["legacy"].items() if k != "series"},
-        "columnar": {
-            k: v for k, v in cores["columnar"].items() if k != "series"
-        },
-        "speedup": speedup,
-        "equal_series": equal_series,
+    legacy_seconds = cores["legacy"]["seconds"]
+    speedups = {
+        core: (
+            round(legacy_seconds / cores[core]["seconds"], 3)
+            if cores[core]["seconds"]
+            else float("inf")
+        )
+        for core in SIMCORE_CORES
+        if core != "legacy"
     }
+    legacy_series = cores["legacy"]["series"]
+    equal_series = all(
+        cores[core]["series"] == legacy_series for core in SIMCORE_CORES
+    )
+    record: Dict[str, Any] = {
+        core: {k: v for k, v in cores[core].items() if k != "series"}
+        for core in SIMCORE_CORES
+    }
+    record["speedups"] = speedups
+    record["speedup"] = speedups["event"]
+    record["equal_series"] = equal_series
     if progress is not None:
-        progress(f"sweep speedup: {speedup}x (series equal: {equal_series})")
+        progress(
+            f"sweep speedup: event {speedups['event']}x, columnar "
+            f"{speedups['columnar']}x (series equal: {equal_series})"
+        )
     return record
 
 
@@ -341,10 +395,10 @@ def run_simcore_bench(
     enforce_speedup: bool = True,
     speedup_target: float = SIMCORE_SPEEDUP_TARGET,
 ) -> Dict[str, Any]:
-    """Benchmark the columnar simulator core against the legacy core.
+    """Benchmark the columnar and event cores against the legacy core.
 
     Args:
-        scale: Workload size multiplier (0.3 for the committed report;
+        scale: Workload size multiplier (1.0 for the committed report;
             smoke runs use a smaller scale).
         cache_dir: Artifact-cache directory for the cold/warm
             columnar-build phase (required; the caller owns it).
@@ -385,6 +439,7 @@ def run_simcore_bench(
         "kind": "simcore",
         "scale": scale,
         "workloads": names,
+        "cores": list(SIMCORE_CORES),
         "policies": list(SIMCORE_POLICIES),
         "predictors": list(SIMCORE_PREDICTORS),
         "generator_version": generator_version(),

@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.cmt import ProcessorConfig, simulate
+from repro.cmt import ProcessorConfig
 from repro.cmt.stats import SimulationStats
 from repro.workloads import load_trace
 
@@ -26,8 +26,10 @@ PHASES = ("trace_build", "column_build", "pair_selection", "simulate",
 #: Version of the ``repro profile --json`` report shape.  Bump on any
 #: breaking change to :meth:`ProfileReport.to_dict`; consumers (the
 #: sim-core benchmark, external tooling reading CI artifacts) key their
-#: parsing on it.
-PROFILE_SCHEMA_VERSION = 1
+#: parsing on it.  Version 2 added the ``wakeup_heap`` section and the
+#: ``stall_reasons`` histogram (event core only; ``None``/empty for the
+#: ticking cores).
+PROFILE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -49,6 +51,13 @@ class ProfileReport:
     stats: Dict[str, Any] = field(default_factory=dict)
     #: Top functions by cumulative time (empty without ``with_profile``).
     hotspots: List[Dict[str, Any]] = field(default_factory=list)
+    #: Event-core clock/wakeup accounting (``cycles_skipped``, clock
+    #: jumps, heap wakeup breakdown, sleeping-poller counters); ``None``
+    #: for the ticking cores, which have no wakeup heap.
+    wakeup_heap: Optional[Dict[str, Any]] = None
+    #: Per-stall-reason histogram of the simulated run (event core
+    #: only; empty for the ticking cores).
+    stall_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -74,6 +83,8 @@ class ProfileReport:
             "commit_check": self.commit_check,
             "stats": self.stats,
             "hotspots": self.hotspots,
+            "wakeup_heap": self.wakeup_heap,
+            "stall_reasons": self.stall_reasons,
             "ok": self.ok,
         }
 
@@ -106,6 +117,28 @@ class ProfileReport:
             for name, passed in self.commit_check.items()
         )
         lines.append(f"commit check: {checks}")
+        heap = self.wakeup_heap
+        if heap is not None:
+            lines.append(
+                f"wakeup heap: {heap['events_processed']} events "
+                f"(+{heap['inline_advances']} inline), "
+                f"{heap['cycles_skipped']} cycles skipped over "
+                f"{heap['clock_jumps']} jumps (max {heap['max_jump']})"
+            )
+            wakeups = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(heap["wakeups"].items())
+            )
+            lines.append(
+                f"  wakeups: {wakeups}; {heap['poller_sleeps']} poller "
+                f"sleeps replayed {heap['replayed_polls']} polls"
+            )
+        if self.stall_reasons:
+            stalls = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.stall_reasons.items())
+            )
+            lines.append(f"stall reasons: {stalls}")
         if self.hotspots:
             lines.append("top functions by cumulative time:")
             lines.append(
@@ -171,7 +204,7 @@ def profile_run(
         policy: Spawning policy (see
             :func:`repro.experiments.framework.policy_names`).
         value_predictor: Live-in value predictor of the simulated run.
-        sim_core: ``columnar`` or ``legacy``.
+        sim_core: ``columnar``, ``legacy``, or ``event``.
         top: How many functions to keep in the hotspot list.
         with_profile: Run the simulate phase under :mod:`cProfile`
             (skipping it removes the profiler's overhead, which the
@@ -208,11 +241,14 @@ def profile_run(
     run_config = (config or framework.EXPERIMENT_CONFIG).with_(
         value_predictor=value_predictor, sim_core=sim_core
     )
+    from repro.cmt.processor import ClusteredProcessor
+
     profiler = cProfile.Profile() if with_profile else None
     start = time.perf_counter()
     if profiler is not None:
         profiler.enable()
-    stats = simulate(trace, pairs, run_config)
+    proc = ClusteredProcessor(trace, pairs, run_config)
+    stats = proc.run()
     if profiler is not None:
         profiler.disable()
     seconds = time.perf_counter() - start
@@ -224,6 +260,22 @@ def profile_run(
     report.phases["commit_check"] = round(time.perf_counter() - start, 4)
 
     report.stats = stats.summary()
+    metrics = proc.event_metrics
+    if metrics is not None:
+        report.wakeup_heap = {
+            key: metrics[key]
+            for key in (
+                "events_processed",
+                "inline_advances",
+                "cycles_skipped",
+                "clock_jumps",
+                "max_jump",
+                "wakeups",
+                "poller_sleeps",
+                "replayed_polls",
+            )
+        }
+        report.stall_reasons = dict(metrics["stalls"])
     if profiler is not None:
         report.hotspots = _top_functions(profiler, top)
     return report

@@ -134,7 +134,7 @@ class TestCommands:
         assert main(["profile", "compress", "--scale", "0.1", "--json",
                      "--no-cprofile"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["ok"] is True
         assert payload["sim_core"] == "columnar"
         assert set(payload["phases"]) == {
@@ -144,6 +144,8 @@ class TestCommands:
         assert payload["hotspots"] == []  # --no-cprofile
         assert all(payload["commit_check"].values())
         assert payload["insts_per_sec"] > 0
+        assert payload["wakeup_heap"] is None  # ticking core: no heap
+        assert payload["stall_reasons"] == {}
 
     def test_profile_legacy_core(self, capsys):
         import json
@@ -154,6 +156,22 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["sim_core"] == "legacy"
         assert payload["ok"] is True
+
+    def test_profile_event_core(self, capsys):
+        import json
+
+        assert main(["profile", "compress", "--scale", "0.1", "--json",
+                     "--no-cprofile", "--core", "event"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sim_core"] == "event"
+        assert payload["ok"] is True
+        heap = payload["wakeup_heap"]
+        assert heap["events_processed"] > 0
+        assert heap["cycles_skipped"] >= 0
+        assert set(heap["wakeups"]) == {
+            "advance", "waiter", "park_poll", "sleeper",
+        }
+        assert payload["stall_reasons"]
 
 
 class TestObservability:

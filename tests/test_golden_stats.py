@@ -35,12 +35,12 @@ PREDICTORS = ("perfect", "stride", "fcm")
 POLICY_CONFIG = ProfilePolicyConfig(coverage=0.99, max_distance=4096)
 
 
-def _point(trace, policy: str, predictor: str) -> dict:
+def _point(trace, policy: str, predictor: str, sim_core: str) -> dict:
     if policy == "heuristics":
         pairs = heuristic_pairs(trace, HeuristicConfig())
     else:
         pairs = select_profile_pairs(trace, POLICY_CONFIG)
-    config = ProcessorConfig(value_predictor=predictor)
+    config = ProcessorConfig(value_predictor=predictor, sim_core=sim_core)
     stats = simulate(trace, pairs, config)
     # JSON round-trip normalises tuples to lists so the comparison with
     # the loaded fixture is structural, not type-sensitive.
@@ -51,10 +51,10 @@ def _golden_path(workload: str) -> Path:
     return GOLDEN_DIR / f"stats_{workload}.json"
 
 
-def _compute(workload: str) -> dict:
+def _compute(workload: str, sim_core: str = "columnar") -> dict:
     trace = load_trace(workload, GOLDEN_SCALE)
     return {
-        f"{policy}/{predictor}": _point(trace, policy, predictor)
+        f"{policy}/{predictor}": _point(trace, policy, predictor, sim_core)
         for policy in POLICIES
         for predictor in PREDICTORS
     }
@@ -79,4 +79,20 @@ def test_stats_match_goldens(request, workload):
             f"{workload} {key}: simulated stats diverged from the golden "
             "fixture (regenerate with --regen-goldens only if the "
             "semantic change is intentional)"
+        )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_event_core_matches_goldens(request, workload):
+    """The event core reproduces the committed fixtures bit for bit."""
+    path = _golden_path(workload)
+    if request.config.getoption("--regen-goldens") or not path.is_file():
+        pytest.skip("fixtures regenerated or absent; columnar test owns them")
+    golden = json.loads(path.read_text())
+    current = _compute(workload, sim_core="event")
+    assert sorted(current) == sorted(golden)
+    for key in sorted(current):
+        assert current[key] == golden[key], (
+            f"{workload} {key}: event-core stats diverged from the golden "
+            "fixture"
         )

@@ -1,15 +1,19 @@
-"""Columnar vs legacy simulator core: bit-identical statistics.
+"""Columnar/event vs legacy simulator cores: bit-identical statistics.
 
-The columnar core (``ProcessorConfig.sim_core == "columnar"``) is a
-pure performance rewrite of the hot loop; these tests pin the contract
-that it never changes a single counter relative to the legacy
-dict-based core — across value predictors, spawning policies, removal
-policies, and under fault injection.
+The columnar core (``ProcessorConfig.sim_core == "columnar"``) and the
+event-driven batch-advance core (``sim_core == "event"``) are pure
+performance rewrites of the hot loop; these tests pin the contract that
+neither ever changes a single counter relative to the legacy dict-based
+core — across value predictors, spawning policies, removal policies,
+and under fault injection — and that the event core's clock jumps stay
+observationally invisible at the watchdog boundaries.
 """
 
 import pytest
 
 from repro.cmt import ProcessorConfig, simulate
+from repro.cmt.processor import ClusteredProcessor
+from repro.errors import InvariantViolation, SimulationTimeout
 from repro.faults import FaultInjector, FaultPlan, TUBlackoutFault
 from repro.spawning import (
     HeuristicConfig,
@@ -21,6 +25,8 @@ from repro.spawning import (
 
 POLICY = ProfilePolicyConfig(coverage=0.99, max_distance=4096)
 
+CORES = ("legacy", "columnar", "event")
+
 
 def _pairs(trace, policy="profile"):
     if policy == "heuristics":
@@ -28,14 +34,20 @@ def _pairs(trace, policy="profile"):
     return select_profile_pairs(trace, POLICY)
 
 
-def _both(trace, pairs, injector_factory=None, **overrides):
-    """Run both cores on one point; returns their full stats dicts."""
+def _all_cores(trace, pairs, injector_factory=None, **overrides):
+    """Run every core on one point; returns their full stats dicts."""
     results = []
-    for core in ("legacy", "columnar"):
+    for core in CORES:
         config = ProcessorConfig().with_(sim_core=core, **overrides)
         injector = injector_factory() if injector_factory else None
         results.append(simulate(trace, pairs, config, injector).to_dict())
     return results
+
+
+def _assert_equal(results):
+    legacy = results[0]
+    for core, stats in zip(CORES[1:], results[1:]):
+        assert stats == legacy, f"{core} diverged from legacy"
 
 
 class TestConfig:
@@ -50,73 +62,162 @@ class TestConfig:
         config = ProcessorConfig(sim_core="legacy")
         assert config.with_(issue_width=2).sim_core == "legacy"
 
+    def test_event_core_accepted(self):
+        assert ProcessorConfig(sim_core="event").sim_core == "event"
+
 
 class TestEquivalence:
     @pytest.mark.parametrize("vp", ["perfect", "stride", "fcm", "last", "none"])
     def test_loop_trace_all_predictors(self, loop_trace, vp):
-        legacy, columnar = _both(
-            loop_trace, _pairs(loop_trace), value_predictor=vp
+        _assert_equal(
+            _all_cores(loop_trace, _pairs(loop_trace), value_predictor=vp)
         )
-        assert legacy == columnar
 
     def test_serial_trace(self, serial_trace):
-        legacy, columnar = _both(serial_trace, _pairs(serial_trace))
-        assert legacy == columnar
+        _assert_equal(_all_cores(serial_trace, _pairs(serial_trace)))
 
     @pytest.mark.parametrize("name", ["compress", "vortex", "m88ksim"])
     @pytest.mark.parametrize("policy", ["profile", "heuristics"])
     def test_workloads_both_policies(self, small_traces, name, policy):
         trace = small_traces[name]
-        legacy, columnar = _both(
-            trace, _pairs(trace, policy), value_predictor="stride"
+        _assert_equal(
+            _all_cores(trace, _pairs(trace, policy), value_predictor="stride")
         )
-        assert legacy == columnar
 
     def test_single_threaded_baseline(self, loop_trace):
-        legacy, columnar = _both(
-            loop_trace, SpawnPairSet([]), num_thread_units=1
+        _assert_equal(
+            _all_cores(loop_trace, SpawnPairSet([]), num_thread_units=1)
         )
-        assert legacy == columnar
 
     def test_removal_policies(self, small_traces):
         trace = small_traces["ijpeg"]
-        legacy, columnar = _both(
-            trace,
-            _pairs(trace),
-            removal_cycles=24,
-            removal_occurrences=2,
-            min_thread_size=8,
+        _assert_equal(
+            _all_cores(
+                trace,
+                _pairs(trace),
+                removal_cycles=24,
+                removal_occurrences=2,
+                min_thread_size=8,
+            )
         )
-        assert legacy == columnar
 
     def test_collect_timeline(self, loop_trace):
-        legacy, columnar = _both(
-            loop_trace, _pairs(loop_trace), collect_timeline=True
+        _assert_equal(
+            _all_cores(loop_trace, _pairs(loop_trace), collect_timeline=True)
         )
-        assert legacy == columnar
 
     def test_under_fault_injection(self, small_traces):
-        # The columnar core falls back to dict-based issue booking when
-        # an injector is attached (booking floors may regress); the
-        # deterministic plan must still produce identical stats.
+        # All columnar-family runs book through the ring-buffer issue
+        # tracker under fault injection too (the legacy core keeps the
+        # dict tracker), and the event core degrades to poll parking;
+        # the deterministic plan must still produce identical stats.
         trace = small_traces["compress"]
         plan = FaultPlan(
             seed=7,
             tu_blackout=TUBlackoutFault(rate=0.6, duration=120,
                                         slot_cycles=200),
         )
-        legacy, columnar = _both(
-            trace,
-            _pairs(trace),
-            injector_factory=lambda: FaultInjector(plan),
+        _assert_equal(
+            _all_cores(
+                trace,
+                _pairs(trace),
+                injector_factory=lambda: FaultInjector(plan),
+            )
         )
-        assert legacy == columnar
 
     def test_uniform_fault_plan(self, loop_trace):
         plan = FaultPlan.uniform(0.1, seed=3)
-        legacy, columnar = _both(
-            loop_trace,
-            _pairs(loop_trace),
-            injector_factory=lambda: FaultInjector(plan),
+        _assert_equal(
+            _all_cores(
+                loop_trace,
+                _pairs(loop_trace),
+                injector_factory=lambda: FaultInjector(plan),
+            )
         )
-        assert legacy == columnar
+
+
+class TestEventEdgeCases:
+    """Clock-jump edges: watchdog boundaries, blackouts in dead spans,
+    and the empty-heap livelock check."""
+
+    def test_budget_boundary_at_wakeup(self, loop_trace):
+        # A cycle budget equal to the run's final cycle count sits at or
+        # beyond every wakeup the event core jumps to, so all cores must
+        # complete — a jump that lands exactly on the boundary is legal
+        # (the watchdog fires strictly above the budget).
+        pairs = _pairs(loop_trace)
+        full = simulate(
+            loop_trace, pairs, ProcessorConfig(sim_core="event")
+        ).to_dict()
+        _assert_equal(
+            _all_cores(loop_trace, pairs, cycle_budget=full["cycles"])
+        )
+
+    def test_budget_exceeded_raises_in_every_core(self, loop_trace):
+        pairs = _pairs(loop_trace)
+        full = simulate(
+            loop_trace, pairs, ProcessorConfig(sim_core="event")
+        ).to_dict()
+        budget = max(full["cycles"] // 2, 1)
+        for core in CORES:
+            with pytest.raises(SimulationTimeout):
+                simulate(
+                    loop_trace,
+                    pairs,
+                    ProcessorConfig(sim_core=core, cycle_budget=budget),
+                )
+
+    def test_blackout_inside_skipped_span(self, loop_trace):
+        # Healthy event-core runs of this trace jump dead spans; a
+        # blackout plan whose windows land inside those spans must be
+        # honoured identically by all cores (the injector leg re-checks
+        # darkness on every poll, so the event core never jumps over an
+        # active blackout).
+        pairs = _pairs(loop_trace)
+        metrics_probe = ClusteredProcessor(
+            loop_trace, pairs, ProcessorConfig(sim_core="event")
+        )
+        metrics_probe.run()
+        assert metrics_probe.event_metrics["cycles_skipped"] > 0
+        plan = FaultPlan(
+            seed=11,
+            tu_blackout=TUBlackoutFault(rate=1.0, duration=64,
+                                        slot_cycles=128),
+        )
+        _assert_equal(
+            _all_cores(
+                loop_trace,
+                pairs,
+                injector_factory=lambda: FaultInjector(plan),
+            )
+        )
+
+    def test_empty_heap_livelock_detected(self, loop_trace, monkeypatch):
+        # If the wakeup heap drains while threads are unfinished (a wait
+        # no completion can break), the event core must report livelock
+        # immediately instead of spinning the zero-progress counter.
+        proc = ClusteredProcessor(
+            loop_trace, SpawnPairSet([]), ProcessorConfig(sim_core="event")
+        )
+        monkeypatch.setattr(proc, "_push", lambda thread: None)
+        with pytest.raises(InvariantViolation, match="heap empty"):
+            proc.run()
+
+    def test_event_metrics_populated(self, loop_trace):
+        proc = ClusteredProcessor(
+            loop_trace, _pairs(loop_trace), ProcessorConfig(sim_core="event")
+        )
+        proc.run()
+        metrics = proc.event_metrics
+        assert metrics["sim_core"] == "event"
+        assert metrics["events_processed"] > 0
+        assert set(metrics["wakeups"]) == {
+            "advance", "waiter", "park_poll", "sleeper"
+        }
+        assert metrics["replayed_polls"] >= 0
+        # The ticking cores leave no event metrics behind.
+        ticking = ClusteredProcessor(
+            loop_trace, _pairs(loop_trace), ProcessorConfig(sim_core="columnar")
+        )
+        ticking.run()
+        assert ticking.event_metrics is None
