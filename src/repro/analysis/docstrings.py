@@ -43,6 +43,7 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "repro.analysis",
     "repro.serve",
     "repro.dist",
+    "repro.dashboard",
 )
 
 #: rule id -> (severity label, one-line description).

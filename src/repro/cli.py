@@ -51,6 +51,11 @@ Commands
     Run the resilient simulation service (crash-safe journaled job
     queue, admission control, HTTP/JSON API); ``--smoke`` runs the CI
     gate, ``--bench`` the load/chaos benchmark (``BENCH_serve.json``).
+``dashboard``
+    Serve the live web UI over timelines, event streams, metrics and
+    sweep manifests (``docs/dashboard.md``); ``--attach`` polls a
+    running serve daemon's ``/metrics``, ``--snapshot DIR`` writes a
+    static bundle, ``--smoke`` runs the CI gate.
 ``profile <workload>``
     Per-phase timings (trace build, column build, pair selection,
     simulate, commit check) and cProfile hotspots of one point.
@@ -70,8 +75,9 @@ both are CI gates too.  ``bench``
 returns 1 when the phases disagree on figure results or a sim-core
 gate fails, and ``profile`` returns 1 when a commit invariant is
 violated.  ``serve`` returns 1 when a smoke/bench gate fails or a
-drain ends with jobs still live, and ``worker`` returns 1 when the
-coordinator connection is lost before a clean shutdown.  Structured
+drain ends with jobs still live, ``dashboard`` returns 1 when a smoke
+check or the snapshot's trace validation fails, and ``worker`` returns
+1 when the coordinator connection is lost before a clean shutdown.  Structured
 simulation/execution failures (timeouts, invariant violations, runaway
 workloads) exit 3 with a one-line message instead of a traceback.
 """
@@ -147,7 +153,7 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    export = args.out or args.metrics or args.smoke
+    export = args.out or args.metrics or args.smoke or args.telemetry
     if args.workload is None and not args.smoke:
         print("trace: a workload is required (or --smoke)", file=sys.stderr)
         return 2
@@ -184,6 +190,8 @@ def cmd_trace(args) -> int:
         validate_chrome_trace,
     )
 
+    import time
+
     out_path = args.out or ("trace.json" if args.smoke else None)
     metrics_path = args.metrics or ("metrics.json" if args.smoke else None)
     trace = load_trace(workload, scale, max_steps=args.max_steps)
@@ -194,7 +202,9 @@ def cmd_trace(args) -> int:
         collect_timeline=True,
     )
     tracer = EventTracer()
+    started = time.perf_counter()
     stats = simulate(trace, pairs, config, tracer=tracer)
+    elapsed = time.perf_counter() - started
     labels = {"workload": workload, "policy": args.policy, "vp": args.vp}
     model = TimelineModel.from_stats(
         stats, args.tus, events=tracer.events,
@@ -223,6 +233,33 @@ def cmd_trace(args) -> int:
             json.dump(registry.snapshot().to_dict(), handle,
                       indent=1, sort_keys=True)
         print(f"wrote metrics snapshot to {metrics_path}")
+    if args.telemetry:
+        # Discoverable layout: trace + events + manifest in one dir the
+        # dashboard's find_telemetry-based browser picks up.
+        from pathlib import Path
+
+        from repro.obs import RunManifest
+
+        tele = Path(args.telemetry)
+        tele.mkdir(parents=True, exist_ok=True)
+        (tele / "trace.json").write_text(
+            json.dumps(chrome, sort_keys=True) + "\n"
+        )
+        (tele / "events.jsonl").write_text(tracer.to_jsonl() + "\n")
+        RunManifest(
+            name=f"trace/{workload}",
+            config={
+                "workload": workload, "scale": scale,
+                "policy": args.policy, "vp": args.vp, "tus": args.tus,
+            },
+            seconds=elapsed,
+            extra={
+                "cycles": stats.cycles,
+                "threads_committed": stats.threads_committed,
+                "events": len(tracer),
+            },
+        ).write(tele)
+        print(f"wrote telemetry (trace + events + manifest) to {tele}")
     return 0
 
 
@@ -253,13 +290,17 @@ def cmd_metrics(args) -> int:
         print(f"{len(changes)} sample(s) changed")
         return 1 if changes else 0
     # dump: run one traced simulation and emit its metrics.
+    import time
+
     trace = _trace_of(args)
     pairs = _build_pairs(trace, args)
     config = ProcessorConfig(
         num_thread_units=args.tus, value_predictor=args.vp
     )
     tracer = EventTracer()
+    started = time.perf_counter()
     stats = simulate(trace, pairs, config, tracer=tracer)
+    elapsed = time.perf_counter() - started
     registry = MetricsRegistry()
     labels = {
         "workload": args.workload, "policy": args.policy, "vp": args.vp
@@ -280,6 +321,25 @@ def cmd_metrics(args) -> int:
         print(f"wrote metrics ({args.format}) to {args.out}")
     else:
         print(text, end="")
+    if args.telemetry:
+        from pathlib import Path
+
+        from repro.obs import RunManifest
+
+        tele = Path(args.telemetry)
+        tele.mkdir(parents=True, exist_ok=True)
+        ext = {"prom": "prom", "json": "json", "jsonl": "jsonl"}
+        (tele / f"metrics.{ext[args.format]}").write_text(text)
+        RunManifest(
+            name=f"metrics/{args.workload}",
+            config={
+                "workload": args.workload, "scale": args.scale,
+                "policy": args.policy, "vp": args.vp, "tus": args.tus,
+            },
+            seconds=elapsed,
+            extra={"format": args.format, "events": len(tracer)},
+        ).write(tele)
+        print(f"wrote telemetry (metrics + manifest) to {tele}")
     return 0
 
 
@@ -870,6 +930,77 @@ def cmd_serve(args) -> int:
     return 0 if clean and audit["lost"] == 0 else 1
 
 
+def cmd_dashboard(args) -> int:
+    import time
+
+    from repro.dashboard import (
+        DashboardApp,
+        DashboardData,
+        run_smoke,
+        write_snapshot,
+    )
+    from repro.obs import validate_chrome_trace
+
+    if args.smoke:
+        report = run_smoke()
+        for check in report["checks"]:
+            status = "ok" if check["ok"] else "FAIL"
+            detail = (
+                f"  ({check['detail']})"
+                if check["detail"] and not check["ok"] else ""
+            )
+            print(f"  {check['name']:20s} {status}{detail}")
+        passed = sum(1 for check in report["checks"] if check["ok"])
+        print(
+            f"dashboard smoke: {passed}/{len(report['checks'])} checks"
+        )
+        return 0 if report["ok"] else 1
+
+    try:
+        data = DashboardData.collect(
+            workload=args.workload or "compress",
+            scale=args.scale,
+            policy=args.policy,
+            value_predictor=args.vp,
+            thread_units=args.tus,
+            max_steps=args.max_steps,
+            trace_path=args.trace,
+            events_path=args.events,
+            telemetry=args.telemetry,
+            attach=args.attach,
+        )
+    except ValueError as exc:
+        print(f"dashboard: {exc}", file=sys.stderr)
+        return 2
+
+    if args.snapshot:
+        written = write_snapshot(data, args.snapshot)
+        problems = validate_chrome_trace(data.trace_payload())
+        for problem in problems:
+            print(f"dashboard: trace schema error: {problem}",
+                  file=sys.stderr)
+        names = ", ".join(path.name for path in written)
+        print(f"wrote snapshot bundle to {args.snapshot} ({names})")
+        return 1 if problems else 0
+
+    app = DashboardApp(data, host=args.host, port=args.port)
+    app.start()
+    telemetry = ", ".join(str(d) for d in data.telemetry) or "none"
+    print(f"repro dashboard on {app.url} "
+          f"(telemetry: {telemetry})", flush=True)
+    if data.attach_url:
+        print(f"metrics attached to {data.attach_url}/metrics",
+              flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.stop()
+    return 0
+
+
 def cmd_worker(args) -> int:
     from repro.dist.worker import run_worker
 
@@ -941,6 +1072,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="CI mode: small traced run (compress by default), "
                    "schema-validated, writing trace.json + metrics.json")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="also write trace.json + events.jsonl + a run "
+                   "manifest into DIR (discoverable by the dashboard's "
+                   "manifest browser)")
 
     p = sub.add_parser(
         "metrics",
@@ -958,6 +1093,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="Prometheus text, snapshot JSON, or JSON Lines")
     d.add_argument("--out", default=None, metavar="FILE",
                    help="write instead of printing")
+    d.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="also write the metrics output + a run manifest "
+                   "into DIR (discoverable by the dashboard's manifest "
+                   "browser)")
     f = msub.add_parser("diff", help="diff two snapshot JSON files")
     f.add_argument("before", help="snapshot JSON (e.g. from 'metrics "
                    "dump --format json')")
@@ -1263,6 +1402,50 @@ def make_parser() -> argparse.ArgumentParser:
                    help="bench scratch directory (default: temp dir)")
 
     p = sub.add_parser(
+        "dashboard",
+        help="live web UI over timelines, event streams, metrics and "
+        "sweep manifests (docs/dashboard.md)",
+    )
+    p.add_argument("workload", nargs="?", choices=workload_names(),
+                   help="workload backing the startup simulation "
+                   "(default compress; ignored with --trace)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload size multiplier (default 0.25)")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="functional-execution step budget (a workload "
+                   "that does not halt within it fails fast)")
+    p.add_argument("--policy", choices=("profile", "heuristics"),
+                   default="profile")
+    p.add_argument("--tus", type=int, default=8, help="thread units")
+    p.add_argument("--vp", default="stride",
+                   choices=("perfect", "stride", "fcm", "last", "none"))
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="serve this Chrome-trace JSON (e.g. from "
+                   "'repro trace --out') instead of simulating")
+    p.add_argument("--events", default=None, metavar="FILE",
+                   help="JSONL event stream backing the inspector "
+                   "(with --trace)")
+    p.add_argument("--telemetry", action="append", default=None,
+                   metavar="DIR",
+                   help="telemetry directory for the manifest browser "
+                   "(repeatable; default: auto-discover under the "
+                   "working directory)")
+    p.add_argument("--attach", default=None, metavar="TARGET",
+                   help="poll a running serve daemon's /metrics: a "
+                   "serve state dir, an endpoint.json, host:port, or "
+                   "a URL")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8650,
+                   help="bind port (default 8650; 0 = ephemeral)")
+    p.add_argument("--snapshot", default=None, metavar="DIR",
+                   help="write a static bundle (index.html + per-view "
+                   "JSON) instead of serving")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: ephemeral server, every endpoint hit, "
+                   "trace schema-validated, --attach exercised against "
+                   "a real serve daemon, snapshot re-validated")
+
+    p = sub.add_parser(
         "profile",
         help="per-phase timings and cProfile hotspots of one point",
     )
@@ -1303,6 +1486,7 @@ _COMMANDS = {
     "cache": cmd_cache,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "dashboard": cmd_dashboard,
     "profile": cmd_profile,
 }
 

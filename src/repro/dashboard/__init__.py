@@ -1,0 +1,30 @@
+"""Live dashboard: a stdlib web UI over the observability layer.
+
+``repro dashboard`` serves one self-contained page with four views —
+per-TU occupancy timelines, the spawn/squash/reassign event-stream
+inspector, the sweep/manifest browser, and a live metrics panel that
+either snapshots the in-process registry or polls a running ``repro
+serve`` daemon's ``/metrics`` (``--attach``).  ``--snapshot DIR``
+renders the same page as a static bundle that needs no server at all.
+See ``docs/dashboard.md``.
+"""
+
+from repro.dashboard.app import DashboardApp, run_smoke, write_snapshot
+from repro.dashboard.data import (
+    DashboardData,
+    histogram_quantiles,
+    parse_prometheus,
+    resolve_attach,
+)
+from repro.dashboard.page import render_page
+
+__all__ = [
+    "DashboardApp",
+    "DashboardData",
+    "histogram_quantiles",
+    "parse_prometheus",
+    "render_page",
+    "resolve_attach",
+    "run_smoke",
+    "write_snapshot",
+]

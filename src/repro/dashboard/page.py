@@ -1,0 +1,628 @@
+"""The dashboard's single static page (HTML + CSS + JS, stdlib-served).
+
+:func:`render_page` returns one self-contained document with four
+views — per-TU occupancy timeline, event-stream inspector, manifest
+browser, metrics panel — rendered client-side from the JSON API
+(live mode) or from a bootstrap object embedded into the page
+(``--snapshot`` mode, where the bundle works without any server).
+
+The palette is a validated colorblind-safe set (categorical slots in
+fixed order, status red reserved for squash/drop markers) with a
+selected dark mode; both modes render on their own surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["render_page"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --plane: #f9f9f7;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;  /* execute slices */
+  --series-2: #eb6834;  /* commit-wait slices */
+  --critical: #d03b3b;  /* squash/drop instant markers */
+  --good: #0ca30c;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --plane: #0d0d0d;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --critical: #d03b3b;
+    --good: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  background: var(--plane);
+  color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header {
+  display: flex;
+  align-items: baseline;
+  gap: 12px;
+  flex-wrap: wrap;
+  padding: 14px 20px 10px;
+}
+header h1 { font-size: 17px; margin: 0; }
+.chip {
+  font-size: 12px;
+  color: var(--ink-2);
+  border: 1px solid var(--border);
+  border-radius: 999px;
+  padding: 1px 9px;
+  background: var(--surface-1);
+}
+nav { display: flex; gap: 4px; padding: 0 20px; }
+nav button {
+  font: inherit;
+  border: 1px solid var(--border);
+  border-bottom: none;
+  border-radius: 6px 6px 0 0;
+  background: transparent;
+  color: var(--ink-2);
+  padding: 6px 14px;
+  cursor: pointer;
+}
+nav button[aria-selected="true"] {
+  background: var(--surface-1);
+  color: var(--ink-1);
+  font-weight: 600;
+}
+main {
+  background: var(--surface-1);
+  border-top: 1px solid var(--border);
+  min-height: 70vh;
+  padding: 16px 20px 40px;
+}
+section[hidden] { display: none; }
+h2 { font-size: 14px; margin: 8px 0; }
+.note { color: var(--muted); font-size: 12px; }
+.legend {
+  display: flex;
+  gap: 16px;
+  font-size: 12px;
+  color: var(--ink-2);
+  margin: 6px 0 10px;
+}
+.legend i {
+  display: inline-block;
+  width: 10px;
+  height: 10px;
+  border-radius: 2px;
+  margin-right: 5px;
+  vertical-align: -1px;
+}
+table {
+  border-collapse: collapse;
+  width: 100%;
+  font-size: 13px;
+}
+th, td {
+  text-align: left;
+  padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid);
+}
+th { color: var(--muted); font-weight: 600; }
+td.num, th.num {
+  text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+.tiles {
+  display: flex;
+  flex-wrap: wrap;
+  gap: 12px;
+  margin: 10px 0 16px;
+}
+.tile {
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 14px;
+  min-width: 150px;
+}
+.tile .v {
+  font-size: 22px;
+  font-weight: 600;
+  color: var(--ink-1);
+}
+.tile .k { font-size: 12px; color: var(--ink-2); }
+.controls {
+  display: flex;
+  gap: 10px;
+  align-items: center;
+  margin: 6px 0 12px;
+  flex-wrap: wrap;
+}
+.controls select, .controls input {
+  font: inherit;
+  background: var(--surface-1);
+  color: var(--ink-1);
+  border: 1px solid var(--border);
+  border-radius: 6px;
+  padding: 3px 8px;
+}
+#tip {
+  position: fixed;
+  display: none;
+  pointer-events: none;
+  background: var(--surface-1);
+  color: var(--ink-1);
+  border: 1px solid var(--border);
+  border-radius: 6px;
+  box-shadow: 0 2px 10px rgba(0, 0, 0, 0.18);
+  padding: 6px 9px;
+  font-size: 12px;
+  max-width: 340px;
+  z-index: 10;
+}
+svg text { fill: var(--muted); font-size: 11px; }
+.err { color: var(--critical); }
+code { font-size: 12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro dashboard</h1>
+  <span id="meta"></span>
+  <span class="chip" id="mode"></span>
+</header>
+<nav role="tablist">
+  <button role="tab" data-view="timeline" aria-selected="true">
+    Timeline</button>
+  <button role="tab" data-view="events">Events</button>
+  <button role="tab" data-view="manifests">Manifests</button>
+  <button role="tab" data-view="metrics">Metrics</button>
+</nav>
+<main>
+  <section id="view-timeline">
+    <h2>Per-TU occupancy</h2>
+    <div class="legend">
+      <span><i style="background:var(--series-1)"></i>execute</span>
+      <span><i style="background:var(--series-2)"></i>commit wait</span>
+      <span><i style="background:var(--critical)"></i>instant event
+        (squash / drop / blackout)</span>
+    </div>
+    <div id="timeline"></div>
+    <p class="note" id="timeline-note"></p>
+  </section>
+  <section id="view-events" hidden>
+    <h2>Event stream</h2>
+    <div class="controls">
+      <label>kind <select id="ev-kind"><option value="">all</option>
+      </select></label>
+      <label>thread <input id="ev-thread" type="number" min="0"
+        style="width:80px" placeholder="any"></label>
+      <span class="note" id="ev-count"></span>
+    </div>
+    <div id="ev-replay"></div>
+    <div id="ev-table"></div>
+  </section>
+  <section id="view-manifests" hidden>
+    <h2>Sweep manifests</h2>
+    <div id="manifests"></div>
+  </section>
+  <section id="view-metrics" hidden>
+    <h2>Metrics</h2>
+    <p class="note" id="metrics-note"></p>
+    <div class="tiles" id="metric-tiles"></div>
+    <div id="metric-table"></div>
+  </section>
+</main>
+<div id="tip"></div>
+<script>
+"use strict";
+const BOOTSTRAP = __BOOTSTRAP__;
+const LIVE = BOOTSTRAP === null;
+const $ = (id) => document.getElementById(id);
+
+async function getJSON(path, key) {
+  if (!LIVE) return BOOTSTRAP[key];
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + " -> HTTP " + resp.status);
+  return resp.json();
+}
+
+function el(tag, attrs, ...children) {
+  const node = document.createElement(tag);
+  for (const [k, v] of Object.entries(attrs || {})) {
+    if (k === "text") node.textContent = v;
+    else node.setAttribute(k, v);
+  }
+  for (const child of children) node.append(child);
+  return node;
+}
+
+function fmt(value) {
+  if (value === null || value === undefined) return "-";
+  if (typeof value === "number" && !Number.isInteger(value)) {
+    return value.toLocaleString(undefined,
+      { maximumFractionDigits: 3 });
+  }
+  if (typeof value === "number") return value.toLocaleString();
+  return String(value);
+}
+
+const tip = $("tip");
+function showTip(evt, html) {
+  tip.innerHTML = html;
+  tip.style.display = "block";
+  const x = Math.min(evt.clientX + 14, window.innerWidth - 280);
+  tip.style.left = x + "px";
+  tip.style.top = (evt.clientY + 14) + "px";
+}
+function hideTip() { tip.style.display = "none"; }
+
+/* ---- tabs -------------------------------------------------------- */
+for (const btn of document.querySelectorAll("nav button")) {
+  btn.addEventListener("click", () => {
+    for (const other of document.querySelectorAll("nav button")) {
+      other.setAttribute("aria-selected",
+        other === btn ? "true" : "false");
+    }
+    for (const section of document.querySelectorAll("main section")) {
+      section.hidden = section.id !== "view-" + btn.dataset.view;
+    }
+  });
+}
+
+/* ---- timeline ---------------------------------------------------- */
+const SVGNS = "http://www.w3.org/2000/svg";
+function svgEl(tag, attrs) {
+  const node = document.createElementNS(SVGNS, tag);
+  for (const [k, v] of Object.entries(attrs)) {
+    node.setAttribute(k, v);
+  }
+  return node;
+}
+
+function renderTimeline(trace) {
+  const events = trace.traceEvents || [];
+  const names = {};
+  for (const ev of events) {
+    if (ev.ph === "M" && ev.name === "thread_name") {
+      names[ev.tid] = ev.args.name;
+    }
+  }
+  const tids = Object.keys(names).map(Number).sort((a, b) => a - b);
+  let maxTs = 1;
+  for (const ev of events) {
+    if (ev.ph === "X") maxTs = Math.max(maxTs, ev.ts + ev.dur);
+    if (ev.ph === "i") maxTs = Math.max(maxTs, ev.ts);
+  }
+  const laneH = 26, left = 64, right = 16, axisH = 26;
+  const width = Math.max(700,
+    Math.min(1400, document.body.clientWidth - 60));
+  const plotW = width - left - right;
+  const height = tids.length * laneH + axisH + 8;
+  const svg = svgEl("svg",
+    { viewBox: `0 0 ${width} ${height}`, width: "100%" });
+  const x = (ts) => left + (ts / maxTs) * plotW;
+  const laneY = {};
+  tids.forEach((tid, i) => { laneY[tid] = 6 + i * laneH; });
+  for (const tid of tids) {
+    const y = laneY[tid];
+    svg.append(svgEl("line", {
+      x1: left, x2: width - right, y1: y + laneH - 4,
+      y2: y + laneH - 4, stroke: "var(--grid)",
+    }));
+    const label = svgEl("text",
+      { x: 8, y: y + laneH - 10 });
+    label.textContent = names[tid];
+    svg.append(label);
+  }
+  const ticks = 6;
+  for (let i = 0; i <= ticks; i += 1) {
+    const ts = (maxTs / ticks) * i;
+    const tx = x(ts);
+    svg.append(svgEl("line", {
+      x1: tx, x2: tx, y1: 6, y2: height - axisH,
+      stroke: "var(--grid)", "stroke-dasharray": "2,4",
+    }));
+    const label = svgEl("text", {
+      x: tx, y: height - 8, "text-anchor": "middle",
+    });
+    label.textContent = Math.round(ts).toLocaleString();
+    svg.append(label);
+  }
+  for (const ev of events) {
+    if (ev.ph === "X" && ev.tid in laneY) {
+      const fill = ev.cat === "commit_wait"
+        ? "var(--series-2)" : "var(--series-1)";
+      const rect = svgEl("rect", {
+        x: x(ev.ts), y: laneY[ev.tid] + 3,
+        width: Math.max((ev.dur / maxTs) * plotW, 1.5),
+        height: laneH - 11, rx: 2, fill,
+        stroke: "var(--surface-1)", "stroke-width": 1,
+      });
+      rect.addEventListener("mousemove", (m) => showTip(m,
+        `<b>${ev.name}</b><br>${ev.cat}` +
+        `<br>cycles ${fmt(ev.ts)} → ${fmt(ev.ts + ev.dur)}` +
+        ` (${fmt(ev.dur)})` +
+        (ev.args && ev.args.size_insts !== undefined
+          ? `<br>${fmt(ev.args.size_insts)} insts` : "")));
+      rect.addEventListener("mouseleave", hideTip);
+      svg.append(rect);
+    } else if (ev.ph === "i" && ev.tid in laneY) {
+      const cx = x(ev.ts), cy = laneY[ev.tid] + laneH - 6;
+      const mark = svgEl("path", {
+        d: `M ${cx} ${cy - 4} L ${cx + 4} ${cy + 2}` +
+           ` L ${cx - 4} ${cy + 2} Z`,
+        fill: "var(--critical)",
+        stroke: "var(--surface-1)", "stroke-width": 1,
+      });
+      mark.addEventListener("mousemove", (m) => showTip(m,
+        `<b>${ev.name}</b><br>cycle ${fmt(ev.ts)}` +
+        `<br><code>${JSON.stringify(ev.args)}</code>`));
+      mark.addEventListener("mouseleave", hideTip);
+      svg.append(mark);
+    }
+  }
+  $("timeline").replaceChildren(svg);
+  const slices = events.filter((e) => e.ph === "X").length;
+  const instants = events.filter((e) => e.ph === "i").length;
+  $("timeline-note").textContent =
+    `${tids.length} thread units, ${slices} slices, ` +
+    `${instants} instant markers over ${fmt(maxTs)} cycles ` +
+    `(cycles map 1:1 to µs in Perfetto).`;
+}
+
+/* ---- events ------------------------------------------------------ */
+let allEvents = [];
+function renderEventTable() {
+  const kind = $("ev-kind").value;
+  const thread = $("ev-thread").value;
+  let rows = allEvents;
+  if (kind) {
+    rows = rows.filter((e) =>
+      e.kind === kind || e.kind.startsWith(kind + "."));
+  }
+  if (thread !== "") {
+    rows = rows.filter((e) => e.thread === Number(thread));
+  }
+  const shown = rows.slice(0, 500);
+  const table = el("table", {},
+    el("tr", {},
+      el("th", { class: "num", text: "cycle" }),
+      el("th", { text: "kind" }),
+      el("th", { class: "num", text: "tu" }),
+      el("th", { class: "num", text: "thread" }),
+      el("th", { text: "attrs" })));
+  for (const ev of shown) {
+    table.append(el("tr", {},
+      el("td", { class: "num", text: fmt(ev.cycle) }),
+      el("td", { text: ev.kind }),
+      el("td", { class: "num", text: fmt(ev.tu) }),
+      el("td", { class: "num", text: fmt(ev.thread) }),
+      el("td", {}, el("code",
+        { text: JSON.stringify(ev.attrs) }))));
+  }
+  $("ev-table").replaceChildren(table);
+  $("ev-count").textContent = `${rows.length} matching event(s)` +
+    (rows.length > shown.length
+      ? ` (first ${shown.length} shown)` : "");
+}
+
+function renderEvents(payload) {
+  allEvents = payload.events;
+  const kinds = Object.keys(payload.counts).sort();
+  const select = $("ev-kind");
+  for (const kind of kinds) {
+    select.append(el("option",
+      { value: kind, text: `${kind} (${payload.counts[kind]})` }));
+  }
+  const replay = payload.replay;
+  const tiles = el("div", { class: "tiles" });
+  for (const key of Object.keys(replay)) {
+    tiles.append(el("div", { class: "tile" },
+      el("div", { class: "v", text: fmt(replay[key]) }),
+      el("div", { class: "k", text: key })));
+  }
+  $("ev-replay").replaceChildren(
+    el("p", { class: "note",
+      text: "replay_counters over the stream (the tested " +
+        "stream-vs-aggregate cross-check):" }),
+    tiles);
+  select.addEventListener("change", renderEventTable);
+  $("ev-thread").addEventListener("input", renderEventTable);
+  renderEventTable();
+}
+
+/* ---- manifests --------------------------------------------------- */
+function renderManifests(payload) {
+  const host = $("manifests");
+  host.replaceChildren();
+  if (!payload.dirs.length) {
+    host.append(el("p", { class: "note",
+      text: "No telemetry directories found. Run e.g. " +
+        "`repro exp --fig 8 --telemetry tele/` and reload." }));
+    return;
+  }
+  for (const entry of payload.dirs) {
+    host.append(el("h2", { text: entry.dir }));
+    const table = el("table", {},
+      el("tr", {},
+        el("th", { text: "manifest" }),
+        el("th", { text: "digest" }),
+        el("th", { text: "ok" }),
+        el("th", { class: "num", text: "seconds" }),
+        el("th", { class: "num", text: "attempts" }),
+        el("th", { text: "cache (mem/disk/miss)" })));
+    const names = Object.keys(entry.manifests).sort();
+    for (const name of names) {
+      const m = entry.manifests[name];
+      const cache = m.cache || {};
+      const okTxt = m.ok === false ? "FAIL" : "ok";
+      const okCell = el("td", { text: okTxt });
+      if (m.ok === false) okCell.className = "err";
+      table.append(el("tr", {},
+        el("td", { text: name }),
+        el("td", {}, el("code",
+          { text: (m.digest || "").slice(0, 12) })),
+        okCell,
+        el("td", { class: "num", text: fmt(m.seconds) }),
+        el("td", { class: "num",
+          text: fmt(m.attempts !== undefined
+            ? m.attempts : m.points) }),
+        el("td", { class: "num",
+          text: `${fmt(cache.memory_hits || 0)}/` +
+            `${fmt(cache.disk_hits || 0)}/` +
+            `${fmt(cache.misses || 0)}` })));
+    }
+    host.append(table);
+    if (entry.files.length) {
+      const names = entry.files
+        .map((f) => `${f.name} (${fmt(f.bytes)} B)`).join(", ");
+      host.append(el("p", { class: "note",
+        text: "artifacts: " + names }));
+    }
+  }
+}
+
+/* ---- metrics ----------------------------------------------------- */
+function labelText(labels) {
+  const body = Object.entries(labels)
+    .map(([k, v]) => `${k}=${v}`).join(", ");
+  return body ? `{${body}}` : "";
+}
+
+function renderMetrics(payload) {
+  const note = $("metrics-note");
+  const tiles = $("metric-tiles");
+  const tableHost = $("metric-table");
+  tiles.replaceChildren();
+  if (payload.source === "attached") {
+    note.textContent = `polling ${payload.endpoint}/metrics ` +
+      `(repro serve daemon)` + (LIVE ? ", refreshed every 2 s" : "");
+    if (payload.error) {
+      tableHost.replaceChildren(el("p", { class: "err",
+        text: "daemon unreachable: " + payload.error }));
+      return;
+    }
+    const table = el("table", {},
+      el("tr", {},
+        el("th", { text: "sample" }),
+        el("th", { class: "num", text: "value" })));
+    for (const sample of payload.samples) {
+      table.append(el("tr", {},
+        el("td", {}, el("code",
+          { text: sample.name + labelText(sample.labels) })),
+        el("td", { class: "num", text: fmt(sample.value) })));
+    }
+    tableHost.replaceChildren(table);
+    return;
+  }
+  note.textContent =
+    "local registry snapshot (histogram quantiles via " +
+    "Histogram.quantile, no exposition re-parsing)";
+  for (const q of payload.quantiles) {
+    const tile = el("div", { class: "tile" },
+      el("div", { class: "v",
+        text: `${fmt(q.p50)} / ${fmt(q.p99)}` }),
+      el("div", { class: "k",
+        text: `${q.name} p50/p99 ` + labelText(q.labels) }),
+      el("div", { class: "k",
+        text: `n=${fmt(q.count)} sum=${fmt(q.sum)}` }));
+    tiles.append(tile);
+  }
+  const table = el("table", {},
+    el("tr", {},
+      el("th", { text: "metric" }),
+      el("th", { text: "labels" }),
+      el("th", { class: "num", text: "value" })));
+  const metrics = payload.snapshot.metrics;
+  for (const name of Object.keys(metrics).sort()) {
+    for (const sample of metrics[name].samples) {
+      table.append(el("tr", {},
+        el("td", { text: name }),
+        el("td", {}, el("code",
+          { text: labelText(sample.labels) })),
+        el("td", { class: "num", text: fmt(sample.value) })));
+    }
+  }
+  tableHost.replaceChildren(table);
+}
+
+/* ---- boot -------------------------------------------------------- */
+async function boot() {
+  try {
+    const [trace, events, manifests, metrics] = await Promise.all([
+      getJSON("/api/trace", "trace"),
+      getJSON("/api/events", "events"),
+      getJSON("/api/manifests", "manifests"),
+      getJSON("/api/metrics", "metrics"),
+    ]);
+    const meta = LIVE ? (trace.otherData || {}) : BOOTSTRAP.meta;
+    $("meta").replaceChildren(...Object.entries(meta).map(
+      ([k, v]) => el("span", { class: "chip",
+        text: `${k}: ${v}` })));
+    $("mode").textContent = LIVE ? "live" : "snapshot";
+    renderTimeline(trace);
+    renderEvents(events);
+    renderManifests(manifests);
+    renderMetrics(metrics);
+    if (LIVE) {
+      setInterval(async () => {
+        try {
+          renderMetrics(await getJSON("/api/metrics", "metrics"));
+        } catch (err) { /* daemon gone; keep last panel */ }
+      }, 2000);
+    }
+  } catch (err) {
+    document.querySelector("main").prepend(
+      el("p", { class: "err", text: "dashboard error: " + err }));
+  }
+}
+boot();
+</script>
+</body>
+</html>
+"""
+
+
+def render_page(bootstrap: Optional[Dict[str, Any]] = None) -> str:
+    """Render the dashboard page.
+
+    Args:
+        bootstrap: When given (``--snapshot`` mode), every view's
+            payload is embedded into the page so it works from a plain
+            file with no server; None (live mode) makes the page fetch
+            the JSON API instead.
+
+    Returns:
+        The complete HTML document.
+    """
+    if bootstrap is None:
+        payload = "null"
+    else:
+        # "</" must not appear inside an inline <script> block.
+        payload = json.dumps(bootstrap, sort_keys=True).replace(
+            "</", "<\\/"
+        )
+    return _PAGE.replace("__BOOTSTRAP__", payload, 1)

@@ -29,6 +29,7 @@ from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
     config_digest,
+    find_telemetry,
     read_manifests,
     write_sweep_manifest,
 )
@@ -45,6 +46,7 @@ from repro.obs.registry import (
     sim_metrics,
 )
 from repro.obs.timeline import (
+    CHROME_TRACE_SCHEMA_VERSION,
     Lifetime,
     TimelineModel,
     validate_chrome_trace,
@@ -62,6 +64,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
     "config_digest",
+    "find_telemetry",
     "read_manifests",
     "write_sweep_manifest",
     "Counter",
@@ -74,6 +77,7 @@ __all__ = [
     "events_metrics",
     "outcome_metrics",
     "sim_metrics",
+    "CHROME_TRACE_SCHEMA_VERSION",
     "Lifetime",
     "TimelineModel",
     "validate_chrome_trace",

@@ -21,7 +21,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.cache import canonical_key_fields
 
@@ -171,6 +171,53 @@ def write_sweep_manifest(
     path = directory / "sweep.manifest.json"
     _atomic_write_json(path, payload)
     return path
+
+
+def find_telemetry(root: Union[str, Path] = ".",
+                   max_depth: int = 4) -> List[Path]:
+    """Discover telemetry directories under ``root``.
+
+    A telemetry directory is any directory holding at least one
+    ``*.manifest.json`` — the layout every ``--telemetry`` flag
+    (``repro exp``, ``repro faults``, ``repro serve``, ``repro trace``,
+    ``repro metrics dump``) writes.  This is the shared discovery the
+    dashboard's manifest browser and the CLIs use, so "where did my
+    telemetry go?" has one answer everywhere.
+
+    Args:
+        root: Directory to search from (``root`` itself counts).
+        max_depth: How many directory levels below ``root`` to descend
+            (hidden and ``__pycache__`` directories are skipped).
+
+    Returns:
+        Sorted list of telemetry directory paths (empty when ``root``
+        is not a directory or holds no manifests).
+    """
+    root = Path(root)
+    found: List[Path] = []
+    if not root.is_dir():
+        return found
+
+    def _walk(directory: Path, depth: int) -> None:
+        try:
+            entries = sorted(directory.iterdir())
+        except OSError:
+            return
+        if any(
+            entry.name.endswith(".manifest.json") and entry.is_file()
+            for entry in entries
+        ):
+            found.append(directory)
+        if depth >= max_depth:
+            return
+        for entry in entries:
+            if entry.name.startswith(".") or entry.name == "__pycache__":
+                continue
+            if entry.is_dir():
+                _walk(entry, depth + 1)
+
+    _walk(root, 0)
+    return found
 
 
 def read_manifests(directory: Union[str, Path]) -> Dict[str, Dict[str, Any]]:

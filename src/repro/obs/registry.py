@@ -172,6 +172,41 @@ class Histogram(Metric):
         series = self._series.get(_label_key(labels))
         return series[2] if series else 0
 
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimate the q-quantile of the labelled series.
+
+        Linear interpolation over the bucket bounds, the same estimate
+        ``histogram_quantile`` computes from the Prometheus exposition —
+        which is what lets dashboard latency tiles show p50/p99 without
+        re-parsing exposition text.  The first bucket interpolates from
+        a lower edge of 0; observations beyond the last bound (the
+        implicit ``+Inf`` bucket) clamp to the last bound, since there
+        is no finite upper edge to interpolate towards.
+
+        Args:
+            q: Quantile in [0, 1] (0.5 = median, 0.99 = p99).
+            **labels: The series to estimate.
+
+        Returns:
+            The estimated value, or None when the series is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series[2] == 0:
+            return None
+        counts, _total, n = series
+        rank = q * n
+        running = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, counts):
+            if bucket and running + bucket >= rank:
+                fraction = max(rank - running, 0.0) / bucket
+                return lower + (bound - lower) * fraction
+            running += bucket
+            lower = bound
+        return self.bounds[-1]
+
     def sum(self, **labels: Any) -> float:
         """Return the labelled series' observation sum."""
         series = self._series.get(_label_key(labels))

@@ -25,6 +25,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.events import BULK_KINDS, SimEvent
 
+#: Version of the emitted Chrome-trace shape, stamped into the trace's
+#: ``metadata`` object.  Version 1 (implicit) predates the stamp;
+#: version 2 added ``metadata.schema_version`` itself.  Bump on any
+#: change a consumer (the dashboard, Perfetto tooling, the CI smoke
+#: step) could trip over.
+CHROME_TRACE_SCHEMA_VERSION = 2
+
 #: Chrome trace-event phase codes used by the exporter.
 _PH_COMPLETE = "X"
 _PH_METADATA = "M"
@@ -213,6 +220,7 @@ class TimelineModel:
             "traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": dict(self.meta),
+            "metadata": {"schema_version": CHROME_TRACE_SCHEMA_VERSION},
         }
 
     def chrome_trace_json(self) -> str:
@@ -220,14 +228,21 @@ class TimelineModel:
         return json.dumps(self.chrome_trace(), sort_keys=True)
 
 
-def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+def validate_chrome_trace(
+    trace: Dict[str, Any],
+    expected_version: int = CHROME_TRACE_SCHEMA_VERSION,
+) -> List[str]:
     """Check a trace object against the Chrome trace-event schema.
 
     Returns a list of problems (empty when the trace is valid).  This is
-    the schema check the CLI smoke step and the tests share — it covers
-    the subset of the format we emit: a ``traceEvents`` array whose
-    entries carry ``ph``/``pid``/``tid``/``name``, with ``ts``+``dur``
-    on complete events and a scope flag on instants.
+    the schema check the CLI smoke step, the dashboard and the tests
+    share — it covers the subset of the format we emit: a
+    ``traceEvents`` array whose entries carry ``ph``/``pid``/``tid``/
+    ``name``, with ``ts``+``dur`` on complete events and a scope flag on
+    instants.  The trace's ``metadata.schema_version`` must equal
+    ``expected_version``; a trace with no stamp at all is treated as
+    version 1 (pre-stamp exports) and flagged unless the caller passes
+    ``expected_version=1``.
     """
     problems: List[str] = []
     events = trace.get("traceEvents")
@@ -235,6 +250,18 @@ def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
         return ["traceEvents missing or not a list"]
     if not events:
         problems.append("traceEvents is empty")
+    metadata = trace.get("metadata")
+    if metadata is not None and not isinstance(metadata, dict):
+        problems.append("metadata is not an object")
+        metadata = None
+    version = (metadata or {}).get("schema_version", 1)
+    if version != expected_version:
+        problems.append(
+            f"trace schema_version {version!r} != expected "
+            f"{expected_version}"
+            + ("" if metadata and "schema_version" in metadata
+               else " (no metadata.schema_version stamp; assuming 1)")
+        )
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):

@@ -206,6 +206,53 @@ class TestObservability:
         assert metrics["schema_version"] == 1
         assert "repro_sim_cycles_total" in metrics["metrics"]
 
+    def test_trace_telemetry_writes_discoverable_dir(
+        self, capsys, tmp_path
+    ):
+        from repro.obs import find_telemetry, read_manifests
+
+        tele = tmp_path / "runs" / "t"
+        assert main(["trace", "compress", "--scale", "0.1",
+                     "--tus", "4", "--telemetry", str(tele)]) == 0
+        assert "wrote telemetry" in capsys.readouterr().out
+        assert (tele / "trace.json").exists()
+        assert (tele / "events.jsonl").exists()
+        manifest = read_manifests(tele)["trace_compress.manifest"]
+        assert manifest["config"]["workload"] == "compress"
+        assert manifest["extra"]["cycles"] > 0
+        assert find_telemetry(tmp_path) == [tele]
+
+    def test_metrics_dump_telemetry(self, capsys, tmp_path):
+        from repro.obs import find_telemetry, read_manifests
+
+        tele = tmp_path / "tele"
+        assert main(["metrics", "dump", "compress", "--scale", "0.1",
+                     "--tus", "4", "--format", "json",
+                     "--telemetry", str(tele)]) == 0
+        assert (tele / "metrics.json").exists()
+        manifest = read_manifests(tele)["metrics_compress.manifest"]
+        assert manifest["extra"]["format"] == "json"
+        assert find_telemetry(tmp_path) == [tele]
+
+    def test_dashboard_snapshot_bundle(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        snap = tmp_path / "snap"
+        assert main(["dashboard", "compress", "--scale", "0.1",
+                     "--tus", "4", "--telemetry", str(tmp_path),
+                     "--snapshot", str(snap)]) == 0
+        assert "wrote snapshot bundle" in capsys.readouterr().out
+        trace = json.loads((snap / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        assert "repro dashboard" in (snap / "index.html").read_text()
+
+    def test_dashboard_bad_attach_is_usage_error(self, capsys, tmp_path):
+        assert main(["dashboard", "--attach", str(tmp_path / "nope"),
+                     "--snapshot", str(tmp_path / "s")]) == 2
+        assert "dashboard:" in capsys.readouterr().err
+
     def test_metrics_dump_prometheus(self, capsys):
         assert main(["metrics", "dump", "compress", "--scale", "0.1",
                      "--tus", "4"]) == 0

@@ -13,6 +13,7 @@ from repro.obs import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
     config_digest,
+    find_telemetry,
     read_manifests,
     write_sweep_manifest,
 )
@@ -101,6 +102,39 @@ class TestRunManifest:
         assert data["points"] == 4
         assert data["digest"] == config_digest({"jobs": 2})
         assert data["cache"] == {"memory_hits": 9}
+
+
+class TestFindTelemetry:
+    def test_discovers_nested_manifest_dirs(self, tmp_path):
+        RunManifest(name="a", config={}).write(tmp_path / "tele")
+        RunManifest(name="b", config={}).write(
+            tmp_path / "runs" / "fig8"
+        )
+        (tmp_path / "empty").mkdir()
+        found = find_telemetry(tmp_path)
+        assert found == [
+            tmp_path / "runs" / "fig8", tmp_path / "tele"
+        ]
+
+    def test_root_itself_counts(self, tmp_path):
+        RunManifest(name="a", config={}).write(tmp_path)
+        assert find_telemetry(tmp_path) == [tmp_path]
+
+    def test_respects_max_depth(self, tmp_path):
+        deep = tmp_path / "a" / "b" / "c"
+        RunManifest(name="x", config={}).write(deep)
+        assert find_telemetry(tmp_path, max_depth=2) == []
+        assert find_telemetry(tmp_path, max_depth=3) == [deep]
+
+    def test_skips_hidden_and_pycache(self, tmp_path):
+        RunManifest(name="x", config={}).write(tmp_path / ".git")
+        RunManifest(name="y", config={}).write(
+            tmp_path / "__pycache__"
+        )
+        assert find_telemetry(tmp_path) == []
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert find_telemetry(tmp_path / "nope") == []
 
 
 class TestOutcomeSeconds:

@@ -75,6 +75,44 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("repro_test_size", buckets=(1, 1, 2))
 
+    def test_quantile_interpolates_over_buckets(self):
+        hist = Histogram("repro_test_size", buckets=(1, 4, 16))
+        for value in (1, 3, 5, 100):
+            hist.observe(value)
+        # rank 2 of 4 lands exactly at the top of the (1, 4] bucket.
+        assert hist.quantile(0.5) == pytest.approx(4.0)
+        # q=0 sits at the lower edge of the first occupied bucket.
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+        # The overflow observation (100) clamps to the last bound.
+        assert hist.quantile(1.0) == pytest.approx(16.0)
+
+    def test_quantile_empty_series_is_none(self):
+        hist = Histogram("repro_test_size", buckets=(1, 4))
+        assert hist.quantile(0.5) is None
+        hist.observe(2, workload="gcc")
+        assert hist.quantile(0.5) is None  # unlabelled still empty
+        assert hist.quantile(0.5, workload="li") is None
+
+    def test_quantile_single_bucket(self):
+        hist = Histogram("repro_test_size", buckets=(10,))
+        hist.observe(5)
+        hist.observe(5)
+        # Half the mass -> halfway through the only bucket [0, 10].
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_respects_labels(self):
+        hist = Histogram("repro_test_size", buckets=(2, 8))
+        hist.observe(1, workload="gcc")
+        hist.observe(7, workload="li")
+        assert hist.quantile(1.0, workload="gcc") == pytest.approx(2.0)
+        assert hist.quantile(1.0, workload="li") == pytest.approx(8.0)
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = Histogram("repro_test_size", buckets=(1,))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(1.5)
+
 
 class TestRegistry:
     def test_registration_is_idempotent(self):

@@ -7,7 +7,13 @@ import pytest
 
 from repro.cmt import ProcessorConfig, simulate
 from repro.cmt.gantt import render_gantt, render_model
-from repro.obs import EventTracer, Lifetime, TimelineModel, validate_chrome_trace
+from repro.obs import (
+    CHROME_TRACE_SCHEMA_VERSION,
+    EventTracer,
+    Lifetime,
+    TimelineModel,
+    validate_chrome_trace,
+)
 from repro.obs.events import (
     EV_CACHE_INSTALL,
     EV_PREDICT_HIT,
@@ -149,6 +155,51 @@ class TestValidator:
             ]}
         )
         assert any("unknown metadata name" in p for p in problems)
+
+
+class TestSchemaVersion:
+    """metadata.schema_version is stamped on export and validated."""
+
+    GOOD = {"ph": "M", "pid": 1, "tid": 0, "name": "process_name"}
+
+    def test_export_stamps_current_version(self, timeline_run):
+        stats, _ = timeline_run
+        chrome = TimelineModel.from_stats(stats, 8).chrome_trace()
+        assert chrome["metadata"]["schema_version"] == (
+            CHROME_TRACE_SCHEMA_VERSION
+        )
+
+    def test_absent_stamp_is_version_1(self):
+        problems = validate_chrome_trace({"traceEvents": [self.GOOD]})
+        assert any(
+            "assuming 1" in p and "schema_version" in p for p in problems
+        )
+        # Callers holding pre-stamp exports opt in explicitly.
+        assert validate_chrome_trace(
+            {"traceEvents": [self.GOOD]}, expected_version=1
+        ) == []
+
+    def test_version_mismatch_flagged(self):
+        trace = {
+            "traceEvents": [self.GOOD],
+            "metadata": {"schema_version": 99},
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("99" in p and "!= expected" in p for p in problems)
+
+    def test_matching_stamp_is_clean(self):
+        trace = {
+            "traceEvents": [self.GOOD],
+            "metadata": {
+                "schema_version": CHROME_TRACE_SCHEMA_VERSION
+            },
+        }
+        assert validate_chrome_trace(trace) == []
+
+    def test_non_object_metadata_flagged(self):
+        trace = {"traceEvents": [self.GOOD], "metadata": "v2"}
+        problems = validate_chrome_trace(trace)
+        assert "metadata is not an object" in problems
 
 
 class TestGantt:
